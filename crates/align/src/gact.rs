@@ -1,0 +1,126 @@
+//! GACT — the prior tiled extension algorithm (Darwin, ASPLOS 2018) that
+//! Fig. 10 benchmarks GACT-X against.
+//!
+//! GACT computes the *full* DP matrix of every tile, so its traceback
+//! memory grows quadratically with tile size: 4 bits/cell ⇒ a tile of `T`
+//! bases needs `T²/2` bytes. GACT-X stores only the X-drop band and can
+//! afford a 1920-base tile in the same 1 MB that limits GACT to 1448.
+//!
+//! The driver is shared with GACT-X ([`crate::gactx`]); GACT is obtained
+//! by disabling the drop test, exactly as described in §III-D.
+
+use crate::gactx::{extend_alignment, ExtendedAlignment, TilingParams};
+use genome::{GapPenalties, Sequence, SubstitutionMatrix};
+
+/// Extends an anchor with GACT constrained to `traceback_bytes` of tile
+/// traceback memory (Fig. 10's x-axis: 512 KB, 1 MB, 2 MB).
+///
+/// Returns `None` when no aligned base was produced.
+pub fn extend_alignment_gact(
+    target: &Sequence,
+    query: &Sequence,
+    anchor_t: usize,
+    anchor_q: usize,
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    traceback_bytes: u64,
+) -> Option<ExtendedAlignment> {
+    let params = TilingParams::gact_with_memory(traceback_bytes);
+    extend_alignment(target, query, anchor_t, anchor_q, w, gaps, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::Base;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dw() -> (SubstitutionMatrix, GapPenalties) {
+        (SubstitutionMatrix::darwin_wga(), GapPenalties::darwin_wga())
+    }
+
+    fn random_seq(len: usize, rng: &mut StdRng) -> Sequence {
+        (0..len)
+            .map(|_| Base::from_code(rng.gen_range(0..4u8)))
+            .collect()
+    }
+
+    #[test]
+    fn gact_aligns_clean_sequences() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = random_seq(800, &mut rng);
+        // 128 KB → tile 512; plenty for a clean 800 bp alignment.
+        let a = extend_alignment_gact(&s, &s, 400, 400, &w, &g, 128 * 1024).unwrap();
+        assert_eq!(a.alignment.matches(), 800);
+    }
+
+    #[test]
+    fn gact_costs_more_cells_than_gactx_for_same_alignment() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = random_seq(1200, &mut rng);
+        let gact = extend_alignment_gact(&s, &s, 600, 600, &w, &g, 128 * 1024).unwrap();
+        // Same 512-base tile, but a Y tight enough that the band (~70
+        // columns) is far narrower than the tile. On identical sequences
+        // the optimal path is the main diagonal, so quality is unchanged.
+        let gactx_params = TilingParams {
+            tile_size: 512,
+            overlap: 128,
+            y: 1500,
+            edge_traceback: false,
+        };
+        let gactx =
+            crate::gactx::extend_alignment(&s, &s, 600, 600, &w, &g, &gactx_params).unwrap();
+        assert_eq!(gact.alignment.matches(), gactx.alignment.matches());
+        assert!(
+            gact.stats.cells > 2 * gactx.stats.cells,
+            "GACT {} cells vs GACT-X {}",
+            gact.stats.cells,
+            gactx.stats.cells
+        );
+        assert!(
+            gact.stats.peak_traceback_bytes > 2 * gactx.stats.peak_traceback_bytes,
+            "GACT {} bytes vs GACT-X {}",
+            gact.stats.peak_traceback_bytes,
+            gactx.stats.peak_traceback_bytes
+        );
+    }
+
+    #[test]
+    fn gact_with_small_memory_cannot_cross_long_gaps() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(3);
+        let left_arm = random_seq(400, &mut rng);
+        let right_arm = random_seq(400, &mut rng);
+        let gap = random_seq(250, &mut rng);
+        // Target has a 250-base insertion between the arms.
+        let mut target = left_arm.clone();
+        target.extend(gap.iter());
+        target.extend(right_arm.iter());
+        let mut query = left_arm.clone();
+        query.extend(right_arm.iter());
+
+        // GACT with a tiny memory budget (tile 181 < gap) stalls inside the
+        // gap; GACT-X with an equally small *memory* crosses it because its
+        // banded tile is larger.
+        let small = extend_alignment_gact(&target, &query, 100, 100, &w, &g, 16 * 1024).unwrap();
+        let gactx_params = TilingParams {
+            tile_size: 720, // what ~16 KB buys at a ~45-col band
+            overlap: 128,
+            y: 9430,
+            edge_traceback: false,
+        };
+        let gactx =
+            crate::gactx::extend_alignment(&target, &query, 100, 100, &w, &g, &gactx_params)
+                .unwrap();
+        assert!(
+            gactx.alignment.matches() > small.alignment.matches(),
+            "GACT-X {} vs GACT {}",
+            gactx.alignment.matches(),
+            small.alignment.matches()
+        );
+        assert!(gactx.alignment.matches() >= 700);
+    }
+}

@@ -1,0 +1,457 @@
+//! GACT-X — tiled extension with constant traceback memory (§III-D).
+//!
+//! The extension stage walks outward from a filter anchor in overlapping
+//! tiles of size `Te` (default 1920 bp). Each tile runs the X-drop kernel
+//! ([`crate::xdrop::xdrop_tile`]); the path committed from a tile stops at
+//! the overlap boundary (`O`, default 128 bp) so neighbouring tiles can be
+//! stitched without boundary artefacts. Extension in a direction ends when
+//! a tile's `Vmax` is not positive.
+//!
+//! With `y` set effectively infinite the same driver becomes plain GACT
+//! (see [`crate::gact`]), which Fig. 10 compares against.
+
+use crate::alignment::Alignment;
+use crate::cigar::{AlignOp, Cigar};
+use crate::xdrop::xdrop_tile_with_mode;
+use genome::{Base, GapPenalties, Sequence, SubstitutionMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Tiling parameters for GACT-X / GACT extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilingParams {
+    /// Tile size `Te` in bases (target and query window length).
+    pub tile_size: usize,
+    /// Overlap `O` between consecutive tiles, in bases.
+    pub overlap: usize,
+    /// X-drop threshold `Y`; cells more than `y` below `Vmax` are pruned.
+    pub y: i64,
+    /// Trace each tile from its far edge (GACT hardware behaviour) rather
+    /// than from the global maximum (GACT-X). See
+    /// [`crate::xdrop::xdrop_tile_with_mode`].
+    pub edge_traceback: bool,
+}
+
+impl TilingParams {
+    /// The paper's default GACT-X configuration (Table IIb):
+    /// `Te = 1920`, `O = 128`, `Y = 9430`.
+    pub fn gactx_default() -> TilingParams {
+        TilingParams {
+            tile_size: 1920,
+            overlap: 128,
+            y: 9430,
+            edge_traceback: false,
+        }
+    }
+
+    /// A GACT configuration fitting the given traceback memory: tile size
+    /// `⌊√(2·bytes)⌋` (4 bits per cell over the full tile), no X-drop.
+    ///
+    /// The Fig. 10 sweep uses 512 KB, 1 MB and 2 MB, giving tile sizes
+    /// 1024, 1448 and 2048.
+    pub fn gact_with_memory(bytes: u64) -> TilingParams {
+        let tile = (2.0 * bytes as f64).sqrt().floor() as usize;
+        TilingParams {
+            tile_size: tile.max(64),
+            overlap: 128.min(tile / 4),
+            y: i64::MAX / 8, // effectively disables the drop test
+            edge_traceback: true,
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap >= tile_size` or `tile_size == 0`.
+    pub fn validate(&self) {
+        assert!(self.tile_size > 0, "tile size must be positive");
+        assert!(
+            self.overlap < self.tile_size,
+            "overlap {} must be smaller than tile size {}",
+            self.overlap,
+            self.tile_size
+        );
+    }
+}
+
+impl Default for TilingParams {
+    fn default() -> Self {
+        TilingParams::gactx_default()
+    }
+}
+
+/// Workload counters accumulated over an extension.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtensionStats {
+    /// Tiles processed.
+    pub tiles: u64,
+    /// DP cells computed across all tiles.
+    pub cells: u64,
+    /// DP rows processed across all tiles.
+    pub rows: u64,
+    /// Peak per-tile traceback memory (bytes at 4 bits/cell).
+    pub peak_traceback_bytes: u64,
+}
+
+impl ExtensionStats {
+    /// Accumulates another stats record.
+    pub fn merge(&mut self, other: &ExtensionStats) {
+        self.tiles += other.tiles;
+        self.cells += other.cells;
+        self.rows += other.rows;
+        self.peak_traceback_bytes = self.peak_traceback_bytes.max(other.peak_traceback_bytes);
+    }
+}
+
+/// A one-directional extension result (path leading away from the anchor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extension {
+    /// Path in forward orientation starting at the anchor.
+    pub cigar: Cigar,
+    /// Target bases consumed.
+    pub target_advance: usize,
+    /// Query bases consumed.
+    pub query_advance: usize,
+    /// Workload counters.
+    pub stats: ExtensionStats,
+}
+
+/// Extends to the right (increasing coordinates) from `(t0, q0)`.
+pub fn extend_right(
+    target: &[Base],
+    query: &[Base],
+    t0: usize,
+    q0: usize,
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    params: &TilingParams,
+) -> Extension {
+    params.validate();
+    let mut cigar = Cigar::new();
+    let mut stats = ExtensionStats::default();
+    let (mut t, mut q) = (t0, q0);
+
+    loop {
+        let t_end = (t + params.tile_size).min(target.len());
+        let q_end = (q + params.tile_size).min(query.len());
+        if t >= t_end || q >= q_end {
+            break;
+        }
+        let tile = xdrop_tile_with_mode(
+            &target[t..t_end],
+            &query[q..q_end],
+            w,
+            gaps,
+            params.y,
+            params.edge_traceback,
+        );
+        stats.tiles += 1;
+        stats.cells += tile.cells;
+        stats.rows += tile.rows as u64;
+        stats.peak_traceback_bytes = stats.peak_traceback_bytes.max(tile.traceback_bytes);
+        if tile.max_score <= 0 {
+            break;
+        }
+
+        // A dimension constrains the commit point only when more sequence
+        // exists beyond this window; the overlap region next to such an
+        // edge is discarded and recomputed by the following tile.
+        let lim_t = if t_end < target.len() {
+            (t_end - t).saturating_sub(params.overlap)
+        } else {
+            usize::MAX
+        };
+        let lim_q = if q_end < query.len() {
+            (q_end - q).saturating_sub(params.overlap)
+        } else {
+            usize::MAX
+        };
+        let at_edge = tile.max_target >= lim_t || tile.max_query >= lim_q;
+        if !at_edge {
+            // The maximum sits strictly inside the tile: the X-drop wall
+            // (or both sequence ends) finished the alignment here.
+            cigar.extend_cigar(&tile.cigar);
+            t += tile.max_target;
+            q += tile.max_query;
+            break;
+        }
+        let (committed, dt, dq) = truncate_at_boundary(&tile.cigar, lim_t, lim_q);
+        if dt == 0 && dq == 0 {
+            break;
+        }
+        cigar.extend_cigar(&committed);
+        t += dt;
+        q += dq;
+    }
+
+    Extension {
+        target_advance: t - t0,
+        query_advance: q - q0,
+        cigar,
+        stats,
+    }
+}
+
+/// Extends to the left (decreasing coordinates) from `(t0, q0)` exclusive.
+///
+/// The returned CIGAR is already in forward orientation, covering
+/// `[t0 - target_advance, t0)` × `[q0 - query_advance, q0)`.
+pub fn extend_left(
+    target: &[Base],
+    query: &[Base],
+    t0: usize,
+    q0: usize,
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    params: &TilingParams,
+) -> Extension {
+    let rev_t: Vec<Base> = target[..t0].iter().rev().copied().collect();
+    let rev_q: Vec<Base> = query[..q0].iter().rev().copied().collect();
+    let mut ext = extend_right(&rev_t, &rev_q, 0, 0, w, gaps, params);
+    ext.cigar.reverse();
+    ext
+}
+
+/// Extends an anchor in both directions and assembles the final local
+/// alignment, as the Darwin-WGA extension stage does (Fig. 4c).
+///
+/// Returns `None` when neither direction produced any aligned base.
+/// The final `score` is the exact rescore of the stitched path.
+///
+/// # Examples
+///
+/// ```
+/// use align::gactx::{extend_alignment, TilingParams};
+/// use genome::{GapPenalties, Sequence, SubstitutionMatrix};
+///
+/// let t: Sequence = "TTTTACGTACGTACGTTTTT".parse()?;
+/// let q: Sequence = "GGGGACGTACGTACGTGGGG".parse()?;
+/// let a = extend_alignment(
+///     &t, &q, 10, 10,
+///     &SubstitutionMatrix::darwin_wga(),
+///     &GapPenalties::darwin_wga(),
+///     &TilingParams::gactx_default(),
+/// ).expect("alignment");
+/// assert!(a.alignment.matches() >= 12);
+/// # Ok::<(), genome::ParseBaseError>(())
+/// ```
+pub fn extend_alignment(
+    target: &Sequence,
+    query: &Sequence,
+    anchor_t: usize,
+    anchor_q: usize,
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    params: &TilingParams,
+) -> Option<ExtendedAlignment> {
+    let right = extend_right(
+        target.as_slice(),
+        query.as_slice(),
+        anchor_t,
+        anchor_q,
+        w,
+        gaps,
+        params,
+    );
+    let left = extend_left(
+        target.as_slice(),
+        query.as_slice(),
+        anchor_t,
+        anchor_q,
+        w,
+        gaps,
+        params,
+    );
+
+    let mut cigar = left.cigar.clone();
+    cigar.extend_cigar(&right.cigar);
+    if cigar.aligned_pairs() == 0 {
+        return None;
+    }
+    let t_start = anchor_t - left.target_advance;
+    let q_start = anchor_q - left.query_advance;
+    let mut alignment = Alignment::new(t_start, q_start, cigar, 0);
+    alignment.score = alignment.rescore(target, query, w, gaps);
+    let mut stats = left.stats;
+    stats.merge(&right.stats);
+    Some(ExtendedAlignment { alignment, stats })
+}
+
+/// An assembled two-sided extension with its workload counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedAlignment {
+    /// The stitched alignment.
+    pub alignment: Alignment,
+    /// Workload across both directions.
+    pub stats: ExtensionStats,
+}
+
+/// Truncates `cigar` at the first point where the target advance reaches
+/// `lim_t` or the query advance reaches `lim_q`; returns the committed
+/// prefix and its (dt, dq) advance.
+fn truncate_at_boundary(cigar: &Cigar, lim_t: usize, lim_q: usize) -> (Cigar, usize, usize) {
+    let mut out = Cigar::new();
+    let (mut dt, mut dq) = (0usize, 0usize);
+    for &(op, count) in cigar.runs() {
+        for _ in 0..count {
+            if dt >= lim_t || dq >= lim_q {
+                return (out, dt, dq);
+            }
+            match op {
+                AlignOp::Match | AlignOp::Subst => {
+                    dt += 1;
+                    dq += 1;
+                }
+                AlignOp::Insert => dq += 1,
+                AlignOp::Delete => dt += 1,
+            }
+            out.push(op, 1);
+        }
+    }
+    (out, dt, dq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::Sequence;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dw() -> (SubstitutionMatrix, GapPenalties) {
+        (SubstitutionMatrix::darwin_wga(), GapPenalties::darwin_wga())
+    }
+
+    fn small_params() -> TilingParams {
+        TilingParams {
+            tile_size: 64,
+            overlap: 16,
+            y: 9430,
+            edge_traceback: false,
+        }
+    }
+
+    fn random_seq(len: usize, rng: &mut StdRng) -> Sequence {
+        (0..len)
+            .map(|_| Base::from_code(rng.gen_range(0..4u8)))
+            .collect()
+    }
+
+    #[test]
+    fn extends_identical_sequences_end_to_end() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = random_seq(500, &mut rng);
+        let a = extend_alignment(&s, &s, 250, 250, &w, &g, &small_params()).unwrap();
+        assert_eq!(a.alignment.target_start, 0);
+        assert_eq!(a.alignment.target_end, 500);
+        assert_eq!(a.alignment.matches(), 500);
+        a.alignment.validate(&s, &s).unwrap();
+        assert!(a.stats.tiles >= 10); // both directions, several tiles
+    }
+
+    #[test]
+    fn stitches_across_tile_boundaries_with_indels() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = random_seq(600, &mut rng);
+        // Query: same sequence with a 12-base deletion at position 300.
+        let mut q = base.subsequence(0..300);
+        q.extend(base.slice(312..600).iter().copied());
+        let a = extend_alignment(&base, &q, 100, 100, &w, &g, &small_params()).unwrap();
+        a.alignment.validate(&base, &q).unwrap();
+        assert_eq!(a.alignment.cigar.count(AlignOp::Delete), 12);
+        assert!(a.alignment.matches() > 550);
+    }
+
+    #[test]
+    fn stops_when_similarity_ends() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(3);
+        let shared = random_seq(200, &mut rng);
+        let mut t = shared.clone();
+        t.extend(random_seq(200, &mut rng).iter());
+        let mut q = shared.clone();
+        q.extend(random_seq(200, &mut rng).iter());
+        let a = extend_alignment(&t, &q, 100, 100, &w, &g, &small_params()).unwrap();
+        // Should cover the shared 200 bases and not much more.
+        assert!(a.alignment.target_start < 5);
+        assert!(a.alignment.target_end < 260, "end {}", a.alignment.target_end);
+    }
+
+    #[test]
+    fn left_extension_matches_right_on_mirrored_input() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = random_seq(300, &mut rng);
+        let right = extend_right(s.as_slice(), s.as_slice(), 0, 0, &w, &g, &small_params());
+        let left = extend_left(s.as_slice(), s.as_slice(), 300, 300, &w, &g, &small_params());
+        assert_eq!(right.target_advance, left.target_advance);
+        assert_eq!(right.cigar.matches(), left.cigar.matches());
+    }
+
+    #[test]
+    fn score_is_exact_rescore() {
+        let (w, g) = dw();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = random_seq(400, &mut rng);
+        // ~10% mutated copy
+        let q: Sequence = t
+            .iter()
+            .map(|b| {
+                if rng.gen::<f64>() < 0.1 {
+                    Base::from_code(rng.gen_range(0..4u8))
+                } else {
+                    b
+                }
+            })
+            .collect();
+        if let Some(a) = extend_alignment(&t, &q, 200, 200, &w, &g, &small_params()) {
+            assert_eq!(a.alignment.score, a.alignment.rescore(&t, &q, &w, &g));
+            a.alignment.validate(&t, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn anchor_at_sequence_edges() {
+        let (w, g) = dw();
+        let s: Sequence = "ACGTACGTACGT".parse().unwrap();
+        let a = extend_alignment(&s, &s, 0, 0, &w, &g, &small_params()).unwrap();
+        assert_eq!(a.alignment.matches(), 12);
+        let b = extend_alignment(&s, &s, 12, 12, &w, &g, &small_params());
+        // Anchor at the very end: only left extension contributes.
+        assert_eq!(b.unwrap().alignment.matches(), 12);
+    }
+
+    #[test]
+    fn gact_memory_to_tile_size() {
+        assert_eq!(TilingParams::gact_with_memory(512 * 1024).tile_size, 1024);
+        assert_eq!(TilingParams::gact_with_memory(2 * 1024 * 1024).tile_size, 2048);
+        let t1m = TilingParams::gact_with_memory(1024 * 1024).tile_size;
+        assert!((1440..=1456).contains(&t1m));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn rejects_overlap_larger_than_tile() {
+        let p = TilingParams {
+            tile_size: 64,
+            overlap: 64,
+            y: 100,
+            edge_traceback: false,
+        };
+        p.validate();
+    }
+
+    #[test]
+    fn truncate_at_boundary_splits_runs() {
+        let mut c = Cigar::new();
+        c.push(AlignOp::Match, 10);
+        c.push(AlignOp::Delete, 5);
+        c.push(AlignOp::Match, 10);
+        let (prefix, dt, dq) = truncate_at_boundary(&c, 12, 12);
+        assert_eq!(dt, 12);
+        assert_eq!(dq, 10);
+        assert_eq!(prefix.to_string(), "10=2D");
+    }
+}

@@ -1,0 +1,48 @@
+//! Alignment algorithms for the Darwin-WGA reproduction.
+//!
+//! The crate layers, bottom-up:
+//!
+//! * reference dynamic programming — [`sw`] (local, Gotoh affine) and
+//!   [`nw`] (global) — used as exact oracles in tests;
+//! * the two *filtering* kernels the paper compares — [`ungapped`]
+//!   (LASTZ's X-drop ungapped extension) and [`banded`] (Darwin-WGA's
+//!   banded Smith-Waterman, "BSW");
+//! * the *extension* algorithms — [`xdrop`] (the per-tile X-drop kernel),
+//!   [`gactx`] (GACT-X tiled extension, the paper's contribution),
+//!   [`gact`] (the prior Darwin algorithm Fig. 10 compares against) and
+//!   [`greedy`] (the software Y-drop extension of the LASTZ baseline).
+//!
+//! # Quick start
+//!
+//! ```
+//! use align::gactx::{extend_alignment, TilingParams};
+//! use genome::{GapPenalties, Sequence, SubstitutionMatrix};
+//!
+//! let t: Sequence = "TTTTACGTACGTACGTTTTT".parse()?;
+//! let q: Sequence = "GGGGACGTACGTACGTGGGG".parse()?;
+//! let a = extend_alignment(
+//!     &t, &q, 10, 10,
+//!     &SubstitutionMatrix::darwin_wga(),
+//!     &GapPenalties::darwin_wga(),
+//!     &TilingParams::gactx_default(),
+//! ).expect("an alignment");
+//! assert_eq!(a.alignment.matches(), 12);
+//! # Ok::<(), genome::ParseBaseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alignment;
+pub mod banded;
+pub mod cigar;
+pub mod gact;
+pub mod gactx;
+pub mod greedy;
+pub mod nw;
+pub mod sw;
+pub mod ungapped;
+pub mod xdrop;
+
+pub use alignment::Alignment;
+pub use cigar::{AlignOp, Cigar};

@@ -1,0 +1,535 @@
+//! The X-drop tile kernel underlying GACT-X (§III-D, §IV).
+//!
+//! One tile aligns a target window (columns) against a query window (rows)
+//! with Needleman-Wunsch scoring (negative scores allowed), affine gaps,
+//! and X-drop row clipping: row `i` starts at the first column where the
+//! previous row's score exceeded `Vmax − Y` and stops once every further
+//! cell falls below it. Direction pointers (4 bits per cell in hardware)
+//! are stored only for computed cells, which is what gives GACT-X its
+//! constant, small traceback memory.
+//!
+//! Setting `y` very large disables clipping, which turns the kernel into a
+//! full-tile Needleman-Wunsch — exactly the GACT tile (Darwin, ASPLOS
+//! 2018) that Fig. 10 compares against.
+
+use crate::cigar::{AlignOp, Cigar};
+use genome::{Base, GapPenalties, SubstitutionMatrix};
+
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// Direction-pointer encoding: 2 bits of direction plus the two affine
+/// "came from gap-open" flags, as in the hardware's 4-bit pointers.
+mod ptr {
+    pub const STOP: u8 = 0;
+    pub const DIAG: u8 = 1;
+    pub const LEFT: u8 = 2; // from E: gap in query, consumes target
+    pub const UP: u8 = 3; // from F: gap in target, consumes query
+    pub const DIR_MASK: u8 = 0b0011;
+    pub const E_OPEN: u8 = 0b0100;
+    pub const F_OPEN: u8 = 0b1000;
+}
+
+/// One stored row of the ragged DP matrix.
+#[derive(Debug, Clone)]
+struct Row {
+    /// First stored column (inclusive, 0-based including the boundary
+    /// column 0).
+    jstart: usize,
+    /// V scores for stored columns.
+    v: Vec<i64>,
+    /// F scores (gap-in-target, moving top→down) for stored columns; E is
+    /// consumed within its own row and never stored across rows.
+    f: Vec<i64>,
+    /// 4-bit pointers for stored columns.
+    ptrs: Vec<u8>,
+}
+
+impl Row {
+    fn jend(&self) -> usize {
+        self.jstart + self.v.len()
+    }
+
+    fn v_at(&self, j: usize) -> i64 {
+        if j >= self.jstart && j < self.jend() {
+            self.v[j - self.jstart]
+        } else {
+            NEG_INF
+        }
+    }
+
+    fn f_at(&self, j: usize) -> i64 {
+        if j >= self.jstart && j < self.jend() {
+            self.f[j - self.jstart]
+        } else {
+            NEG_INF
+        }
+    }
+
+    fn ptr_at(&self, j: usize) -> u8 {
+        if j >= self.jstart && j < self.jend() {
+            self.ptrs[j - self.jstart]
+        } else {
+            ptr::STOP
+        }
+    }
+}
+
+/// Result of one X-drop tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileResult {
+    /// Maximum cell score in the tile (`Vmax`). May be ≤ 0 when the window
+    /// contains no alignment; extension terminates on such tiles.
+    pub max_score: i64,
+    /// Target bases consumed by the path from the tile origin to the
+    /// maximum cell.
+    pub max_target: usize,
+    /// Query bases consumed by the path to the maximum cell.
+    pub max_query: usize,
+    /// Alignment path from the tile origin `(0,0)` to the maximum cell.
+    pub cigar: Cigar,
+    /// DP cells computed.
+    pub cells: u64,
+    /// Bytes of traceback memory the tile needed at 4 bits/cell — the
+    /// hardware BRAM requirement this tile would impose.
+    pub traceback_bytes: u64,
+    /// Number of rows that had at least one live cell.
+    pub rows: usize,
+    /// Widest stored row (columns).
+    pub max_row_width: usize,
+}
+
+/// Runs one GACT-X tile: global-start X-drop DP from the tile origin.
+///
+/// `target` are the columns, `query` the rows. The path is anchored at
+/// `(0, 0)` — leading gaps are charged and retained, which is what lets
+/// neighbouring tiles be stitched (§III-D).
+///
+/// # Examples
+///
+/// ```
+/// use genome::{GapPenalties, Sequence, SubstitutionMatrix};
+///
+/// let t: Sequence = "ACGTACGTACGT".parse()?;
+/// let q: Sequence = "ACGTACGGACGT".parse()?;
+/// let r = align::xdrop::xdrop_tile(
+///     t.as_slice(),
+///     q.as_slice(),
+///     &SubstitutionMatrix::darwin_wga(),
+///     &GapPenalties::darwin_wga(),
+///     9_430,
+/// );
+/// assert!(r.max_score > 900);
+/// assert_eq!(r.max_target, 12);
+/// assert_eq!(r.max_query, 12);
+/// # Ok::<(), genome::ParseBaseError>(())
+/// ```
+pub fn xdrop_tile(
+    target: &[Base],
+    query: &[Base],
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    y: i64,
+) -> TileResult {
+    xdrop_tile_with_mode(target, query, w, gaps, y, false)
+}
+
+/// Like [`xdrop_tile`], with a choice of traceback origin.
+///
+/// With `edge_traceback` the path is traced from the best cell on the
+/// tile's far edge (last computed row, or final column) instead of the
+/// global maximum — the GACT tile behaviour (every tile makes
+/// edge-to-edge progress). The returned `max_score`/`max_target`/
+/// `max_query` then describe the chosen edge cell.
+pub fn xdrop_tile_with_mode(
+    target: &[Base],
+    query: &[Base],
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    y: i64,
+    edge_traceback: bool,
+) -> TileResult {
+    let (n, m) = (target.len(), query.len());
+    let (open, extend) = (gaps.open as i64, gaps.extend as i64);
+
+    let mut rows: Vec<Row> = Vec::with_capacity(m + 1);
+    let mut vmax = 0i64;
+    let (mut max_i, mut max_j) = (0usize, 0usize);
+    let mut cells = 0u64;
+
+    // Row 0: origin plus leading deletions while above the drop threshold.
+    {
+        let mut v = vec![0i64];
+        let mut f = vec![NEG_INF];
+        let mut ptrs = vec![ptr::STOP];
+        let mut j = 1usize;
+        while j <= n {
+            let score = -(open + extend * j as i64);
+            if score < vmax - y {
+                break;
+            }
+            v.push(score);
+            f.push(NEG_INF);
+            ptrs.push(ptr::LEFT | if j == 1 { ptr::E_OPEN } else { 0 });
+            j += 1;
+        }
+        cells += v.len() as u64;
+        rows.push(Row {
+            jstart: 0,
+            v,
+            f,
+            ptrs,
+        });
+    }
+
+    for i in 1..=m {
+        let prev = &rows[i - 1];
+        // First live column of the previous row (pruned cells were stored
+        // as NEG_INF, so "live" ⇔ score survived the drop test).
+        let prev_first_live = (prev.jstart..prev.jend()).find(|&j| prev.v_at(j) > NEG_INF / 2);
+        // Column 0 (left boundary: a pure leading insertion) is live while
+        // its score is above the drop threshold.
+        let col0 = -(open + extend * i as i64);
+        let col0_live = col0 >= vmax - y;
+        let jstart = match (col0_live, prev_first_live) {
+            (true, _) => 0,
+            (false, Some(first)) => first.max(1),
+            (false, None) => break, // nothing can feed this row
+        };
+        if jstart > n {
+            break;
+        }
+
+        let mut v: Vec<i64> = Vec::new();
+        let mut e: Vec<i64> = Vec::new();
+        let mut f: Vec<i64> = Vec::new();
+        let mut ptrs: Vec<u8> = Vec::new();
+        let row_jstart = jstart;
+        let prev_jend = prev.jend();
+        let mut any_live = false;
+
+        let mut j = jstart;
+        while j <= n {
+            let (val, e_val, f_val, p);
+            if j == 0 {
+                val = col0;
+                e_val = NEG_INF;
+                f_val = col0;
+                p = ptr::UP | if i == 1 { ptr::F_OPEN } else { 0 };
+            } else {
+                // E: from the left neighbour in this row.
+                let (left_v, left_e) = if j > row_jstart {
+                    let k = j - 1 - row_jstart;
+                    (v[k], e[k])
+                } else {
+                    (NEG_INF, NEG_INF)
+                };
+                let e_from_open = left_v.saturating_sub(open + extend);
+                let e_from_ext = left_e.saturating_sub(extend);
+                let (e_best, e_open_flag) = if e_from_open >= e_from_ext {
+                    (e_from_open, true)
+                } else {
+                    (e_from_ext, false)
+                };
+                // F: from above.
+                let f_from_open = prev.v_at(j).saturating_sub(open + extend);
+                let f_from_ext = prev.f_at(j).saturating_sub(extend);
+                let (f_best, f_open_flag) = if f_from_open >= f_from_ext {
+                    (f_from_open, true)
+                } else {
+                    (f_from_ext, false)
+                };
+                // Diagonal.
+                let diag = prev.v_at(j - 1);
+                let sub = if diag > NEG_INF / 2 {
+                    diag + w.score(target[j - 1], query[i - 1]) as i64
+                } else {
+                    NEG_INF
+                };
+
+                let mut best = sub;
+                let mut dir = ptr::DIAG;
+                if e_best > best {
+                    best = e_best;
+                    dir = ptr::LEFT;
+                }
+                if f_best > best {
+                    best = f_best;
+                    dir = ptr::UP;
+                }
+                val = best;
+                e_val = e_best;
+                f_val = f_best;
+                p = dir
+                    | if e_open_flag { ptr::E_OPEN } else { 0 }
+                    | if f_open_flag { ptr::F_OPEN } else { 0 };
+            }
+
+            cells += 1;
+            if val > vmax {
+                vmax = val;
+                max_i = i;
+                max_j = j;
+            }
+            // V dominates E and F, so a pruned V implies dead gap chains
+            // too; storing NEG_INF everywhere keeps the invariant simple.
+            let live = val >= vmax - y && val > NEG_INF / 2;
+            if live {
+                any_live = true;
+                v.push(val);
+                e.push(e_val);
+                f.push(f_val);
+                ptrs.push(p);
+            } else {
+                v.push(NEG_INF);
+                e.push(NEG_INF);
+                f.push(NEG_INF);
+                ptrs.push(ptr::STOP);
+            }
+
+            // Beyond the previous row's reach (no up/diag inputs), only the
+            // in-row E chain can keep cells alive; once it dies, stop.
+            let next_has_prev_input = j + 1 <= prev_jend;
+            j += 1;
+            if !next_has_prev_input && !live {
+                break;
+            }
+        }
+
+        if !any_live {
+            break;
+        }
+        // Trim trailing dead cells (nothing below can use them).
+        while v.len() > 1 && *v.last().expect("nonempty") <= NEG_INF / 2 {
+            v.pop();
+            f.pop();
+            ptrs.pop();
+        }
+        rows.push(Row {
+            jstart: row_jstart,
+            v,
+            f,
+            ptrs,
+        });
+    }
+
+    // Traceback: from the global maximum (GACT-X), or from the best cell
+    // on the tile's far edge (GACT — the hardware tracebacks from the
+    // last row/column so tiles always make edge-to-edge progress, which
+    // is exactly what lets a wandering path terminate an alignment early,
+    // §VI-D).
+    if edge_traceback {
+        if let Some((ei, ej, escore)) = best_edge_cell(&rows, n) {
+            max_i = ei;
+            max_j = ej;
+            vmax = escore;
+        }
+    }
+    let cigar = traceback(&rows, max_i, max_j, target, query);
+    let stored_cells: u64 = rows.iter().map(|r| r.v.len() as u64).sum();
+    let max_row_width = rows.iter().map(|r| r.v.len()).max().unwrap_or(0);
+
+    TileResult {
+        max_score: vmax,
+        max_target: max_j,
+        max_query: max_i,
+        cigar,
+        cells,
+        traceback_bytes: stored_cells.div_ceil(2),
+        rows: rows.len(),
+        max_row_width,
+    }
+}
+
+/// The best live cell on the far edge of the computed region: the last
+/// computed row, plus every row's cell in the final column `n`.
+fn best_edge_cell(rows: &[Row], n: usize) -> Option<(usize, usize, i64)> {
+    let mut best: Option<(usize, usize, i64)> = None;
+    let mut consider = |i: usize, j: usize, score: i64| {
+        if score > NEG_INF / 2 && best.map_or(true, |(_, _, s)| score > s) {
+            best = Some((i, j, score));
+        }
+    };
+    if let Some(last) = rows.last() {
+        let i = rows.len() - 1;
+        for j in last.jstart..last.jend() {
+            consider(i, j, last.v_at(j));
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if row.jend() == n + 1 {
+            consider(i, n, row.v_at(n));
+        }
+    }
+    best
+}
+
+fn traceback(rows: &[Row], max_i: usize, max_j: usize, target: &[Base], query: &[Base]) -> Cigar {
+    let mut ops_rev: Vec<AlignOp> = Vec::new();
+    let (mut i, mut j) = (max_i, max_j);
+    let mut state = 0u8; // 0 = V, 2 = E, 3 = F
+    while i > 0 || j > 0 {
+        let p = rows[i].ptr_at(j);
+        match state {
+            0 => match p & ptr::DIR_MASK {
+                ptr::STOP => break,
+                ptr::DIAG => {
+                    let op = if target[j - 1] == query[i - 1] && target[j - 1] != Base::N {
+                        AlignOp::Match
+                    } else {
+                        AlignOp::Subst
+                    };
+                    ops_rev.push(op);
+                    i -= 1;
+                    j -= 1;
+                }
+                ptr::LEFT => state = 2,
+                ptr::UP => state = 3,
+                _ => unreachable!(),
+            },
+            2 => {
+                ops_rev.push(AlignOp::Delete);
+                let was_open = p & ptr::E_OPEN != 0;
+                j -= 1;
+                if was_open {
+                    state = 0;
+                }
+            }
+            3 => {
+                ops_rev.push(AlignOp::Insert);
+                let was_open = p & ptr::F_OPEN != 0;
+                i -= 1;
+                if was_open {
+                    state = 0;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    let mut cigar = Cigar::new();
+    for op in ops_rev.into_iter().rev() {
+        cigar.push(op, 1);
+    }
+    cigar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::needleman_wunsch;
+    use genome::Sequence;
+
+    fn dw() -> (SubstitutionMatrix, GapPenalties) {
+        (SubstitutionMatrix::darwin_wga(), GapPenalties::darwin_wga())
+    }
+
+    fn tile(t: &str, q: &str, y: i64) -> TileResult {
+        let t: Sequence = t.parse().unwrap();
+        let q: Sequence = q.parse().unwrap();
+        xdrop_tile(t.as_slice(), q.as_slice(), &dw().0, &dw().1, y)
+    }
+
+    #[test]
+    fn perfect_match_reaches_corner() {
+        let r = tile("ACGTACGTACGT", "ACGTACGTACGT", 9430);
+        assert_eq!(r.max_target, 12);
+        assert_eq!(r.max_query, 12);
+        assert_eq!(r.cigar.to_string(), "12=");
+        assert_eq!(r.max_score, 3 * (91 + 100 + 100 + 91));
+    }
+
+    #[test]
+    fn path_is_valid_and_scores_consistently() {
+        let (w, g) = dw();
+        let t: Sequence = "ACGGTCAGTCGATTGCAGTCAGCTAGCTAGGATCGGA".parse().unwrap();
+        let q: Sequence = "ACGGTCAGTTTCGATTGCAGTCTGCTAGCTAGGGA".parse().unwrap();
+        let r = xdrop_tile(t.as_slice(), q.as_slice(), &w, &g, 9430);
+        let a = crate::alignment::Alignment::new(0, 0, r.cigar.clone(), r.max_score);
+        a.validate(&t, &q).unwrap();
+        assert_eq!(r.max_score, a.rescore(&t, &q, &w, &g));
+    }
+
+    #[test]
+    fn huge_y_matches_full_needleman_wunsch_to_max() {
+        // With an effectively infinite Y the kernel computes the full
+        // matrix; its Vmax must dominate the (m,n)-constrained NW score.
+        let (w, g) = dw();
+        let t: Sequence = "ACGGTCAGTCGATTGCAGTC".parse().unwrap();
+        let q: Sequence = "ACGGTCAGTCGATTGCAGTC".parse().unwrap();
+        let full = needleman_wunsch(t.as_slice(), q.as_slice(), &w, &g);
+        let r = xdrop_tile(t.as_slice(), q.as_slice(), &w, &g, 1 << 40);
+        assert_eq!(r.max_score, full.score);
+        assert_eq!(r.cells, 21 * 21); // the full (n+1)×(m+1) matrix
+    }
+
+    #[test]
+    fn xdrop_prunes_cells() {
+        let t = "ACGT".repeat(64);
+        let q = "ACGT".repeat(64);
+        let tight = tile(&t, &q, 1000);
+        let loose = tile(&t, &q, 1 << 40);
+        assert!(tight.cells < loose.cells / 2, "{} vs {}", tight.cells, loose.cells);
+        // Same optimal path found regardless.
+        assert_eq!(tight.max_score, loose.max_score);
+        assert_eq!(tight.cigar, loose.cigar);
+    }
+
+    #[test]
+    fn crosses_moderate_gap_when_y_allows() {
+        // 20-base deletion in the query: gap cost 430 + 20*30 = 1030 < Y.
+        let arm = "ACGGTCAGTCGATTGCAGTC";
+        let t = format!("{arm}{}{arm}", "ACGTACGTACGTACGTACGT");
+        let q = format!("{arm}{arm}");
+        let r = tile(&t, &q, 9430);
+        assert_eq!(r.cigar.count(AlignOp::Delete), 20);
+        assert_eq!(r.max_target, 60);
+        assert_eq!(r.max_query, 40);
+    }
+
+    #[test]
+    fn tight_y_cannot_cross_long_gap() {
+        // 60-base gap costs 430 + 60·30 = 2230; the 60-base second arm
+        // gains ~5700, so crossing pays off — but only when Y ≥ the drop.
+        let arm = "ACGGTCAGTCGATTGCAGTC".repeat(3);
+        let gap = "C".repeat(60);
+        let t = format!("{arm}{gap}{arm}");
+        let q = format!("{arm}{arm}");
+        let crossing = tile(&t, &q, 9430);
+        let stuck = tile(&t, &q, 1000);
+        assert_eq!(crossing.max_target, 180);
+        assert_eq!(crossing.max_query, 120);
+        // With a tight Y the drop test kills the extension inside the gap;
+        // a handful of spurious C matches may stretch it slightly past the
+        // arm but never across.
+        assert!(stuck.max_target < arm.len() + 30, "{}", stuck.max_target);
+        assert!(crossing.max_score > stuck.max_score);
+    }
+
+    #[test]
+    fn leading_gap_is_kept() {
+        // Query = target minus its first 3 bases: optimal path opens with a
+        // deletion at the tile origin, which must survive in the CIGAR.
+        let r = tile("ACGTGCAGTCAGTCAA", "TGCAGTCAGTCAA", 9430);
+        let runs = r.cigar.runs();
+        assert_eq!(runs[0].0, AlignOp::Delete);
+        assert_eq!(runs[0].1, 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = tile("", "", 9430);
+        assert_eq!(r.max_score, 0);
+        assert!(r.cigar.is_empty());
+        let r = tile("ACGT", "", 9430);
+        assert_eq!(r.max_score, 0);
+        assert_eq!(r.max_target, 0);
+    }
+
+    #[test]
+    fn traceback_memory_smaller_with_tight_y() {
+        let t = "ACGT".repeat(128);
+        let q = "ACGT".repeat(128);
+        let tight = tile(&t, &q, 2000);
+        let loose = tile(&t, &q, 1 << 40);
+        assert!(tight.traceback_bytes < loose.traceback_bytes / 2);
+    }
+}

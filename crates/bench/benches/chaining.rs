@@ -1,0 +1,40 @@
+//! AXTCHAIN-style chaining throughput.
+
+use align::{AlignOp, Alignment, Cigar};
+use chain::chainer::chain_alignments;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_alignments(n: usize, seed: u64) -> Vec<Alignment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let (mut t, mut q) = (0usize, 0usize);
+    for _ in 0..n {
+        t += rng.gen_range(50..5_000);
+        q += rng.gen_range(50..5_000);
+        let len = rng.gen_range(50..500) as u32;
+        let mut c = Cigar::new();
+        c.push(AlignOp::Match, len);
+        let score = len as i64 * 90;
+        out.push(Alignment::new(t, q, c, score));
+        t += len as usize;
+        q += len as usize;
+    }
+    out
+}
+
+fn bench_chaining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaining");
+    for n in [100usize, 500, 2000] {
+        let alignments = synthetic_alignments(n, 11);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &alignments, |b, a| {
+            b.iter(|| chain_alignments(black_box(a), 3000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaining);
+criterion_main!(benches);

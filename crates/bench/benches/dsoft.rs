@@ -1,0 +1,48 @@
+//! Seeding throughput: seed-table construction and D-SOFT queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use genome::evolve::{EvolutionParams, SyntheticPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seed::{dsoft_seeds, DsoftParams, SeedPattern, SeedTable};
+
+fn bench_seeding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let pair = SyntheticPair::generate(100_000, &EvolutionParams::at_distance(0.2), &mut rng);
+    let pattern = SeedPattern::lastz_default();
+
+    let mut group = c.benchmark_group("seeding");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pair.target.sequence.len() as u64));
+    group.bench_function("table_build_100kb", |b| {
+        b.iter(|| SeedTable::build(black_box(&pair.target.sequence), &pattern, 1000))
+    });
+
+    let table = SeedTable::build(&pair.target.sequence, &pattern, 1000);
+    group.throughput(Throughput::Elements(pair.query.sequence.len() as u64));
+    group.bench_function("dsoft_with_transitions", |b| {
+        b.iter(|| {
+            dsoft_seeds(
+                black_box(&table),
+                black_box(&pair.query.sequence),
+                &DsoftParams::default(),
+            )
+        })
+    });
+    group.bench_function("dsoft_no_transitions", |b| {
+        b.iter(|| {
+            dsoft_seeds(
+                black_box(&table),
+                black_box(&pair.query.sequence),
+                &DsoftParams {
+                    transitions: false,
+                    ..DsoftParams::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seeding);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Extension-algorithm throughput: GACT-X vs GACT vs untiled Y-drop.
+//!
+//! Backs the Fig. 10 throughput axis and the §III-D claim that GACT-X
+//! needs ~2× fewer cycles than GACT at paper-scale tiles.
+
+use align::gactx::{extend_alignment, TilingParams};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use genome::evolve::{EvolutionParams, SyntheticPair};
+use genome::{GapPenalties, SubstitutionMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_extension(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let pair = SyntheticPair::generate(12_000, &EvolutionParams::at_distance(0.25), &mut rng);
+    let target = &pair.target.sequence;
+    let query = &pair.query.sequence;
+    let (anchor_t, anchor_q) = pair.orthologous_pairs()[3_000];
+    let w = SubstitutionMatrix::darwin_wga();
+    let g = GapPenalties::darwin_wga();
+
+    let configs = [
+        ("gactx_default", TilingParams::gactx_default()),
+        ("gact_1mb", TilingParams::gact_with_memory(1024 * 1024)),
+        ("gact_512kb", TilingParams::gact_with_memory(512 * 1024)),
+        (
+            "ydrop_untiled",
+            TilingParams {
+                tile_size: 8192,
+                overlap: 256,
+                y: 9430,
+                edge_traceback: false,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("extension");
+    group.sample_size(20);
+    for (name, params) in configs {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                extend_alignment(
+                    black_box(target),
+                    black_box(query),
+                    anchor_t,
+                    anchor_q,
+                    &w,
+                    &g,
+                    &params,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extension);
+criterion_main!(benches);

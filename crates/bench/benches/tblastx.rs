@@ -1,0 +1,33 @@
+//! Translated-search throughput (the §IX future-work feature).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use genome::markov::MarkovModel;
+use protein::amino::{translate, Frame};
+use protein::search::{tblastx, TblastxParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tblastx(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let model = MarkovModel::genome_like();
+    let target = model.generate(20_000, &mut rng);
+    let query = model.generate(20_000, &mut rng);
+
+    let mut group = c.benchmark_group("tblastx");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(target.len() as u64));
+    group.bench_function("translate_6_frames", |b| {
+        b.iter(|| {
+            for f in Frame::all() {
+                black_box(translate(black_box(&target), f));
+            }
+        })
+    });
+    group.bench_function("search_20kb_vs_20kb", |b| {
+        b.iter(|| tblastx(black_box(&target), black_box(&query), &TblastxParams::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tblastx);
+criterion_main!(benches);

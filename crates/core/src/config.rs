@@ -1,0 +1,221 @@
+//! Pipeline configuration (Table II).
+
+use align::gactx::TilingParams;
+use genome::{GapPenalties, SubstitutionMatrix};
+use seed::{DsoftParams, SeedPattern};
+use serde::{Deserialize, Serialize};
+
+/// Gapped (BSW) filter parameters — Darwin-WGA's filtering stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GappedFilterParams {
+    /// Filter tile size `T_f`.
+    pub tile_size: usize,
+    /// Band half-width `B`.
+    pub band: usize,
+    /// Filter threshold `H_f`: anchors scoring below are discarded.
+    pub threshold: i64,
+}
+
+impl Default for GappedFilterParams {
+    /// Table IIb with the `H_f` correction of §VI-B: `T_f = 320`,
+    /// `B = 32`, `H_f = 4000` (the paper's table prints 3000 but the text
+    /// adopts 4000 after the false-positive analysis).
+    fn default() -> Self {
+        GappedFilterParams {
+            tile_size: 320,
+            band: 32,
+            threshold: 4000,
+        }
+    }
+}
+
+/// Ungapped (LASTZ-style) filter parameters — the baseline's filtering
+/// stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UngappedFilterParams {
+    /// X-drop value for the diagonal extension.
+    pub xdrop: i32,
+    /// Filter threshold (LASTZ default 3000 — "equivalent of at least 30
+    /// matches", the red line of Fig. 2).
+    pub threshold: i64,
+}
+
+impl Default for UngappedFilterParams {
+    fn default() -> Self {
+        UngappedFilterParams {
+            xdrop: 910, // ten match-scores, LASTZ's default magnitude
+            threshold: 3000,
+        }
+    }
+}
+
+/// Which filtering algorithm the pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterStage {
+    /// Banded Smith-Waterman gapped filtering (Darwin-WGA).
+    Gapped(GappedFilterParams),
+    /// X-drop ungapped filtering (LASTZ baseline).
+    Ungapped(UngappedFilterParams),
+}
+
+impl FilterStage {
+    /// The stage's pass threshold.
+    pub fn threshold(&self) -> i64 {
+        match self {
+            FilterStage::Gapped(p) => p.threshold,
+            FilterStage::Ungapped(p) => p.threshold,
+        }
+    }
+}
+
+/// Which extension algorithm the pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtensionStage {
+    /// GACT-X tiled extension (Darwin-WGA).
+    GactX(TilingParams),
+    /// GACT with a traceback-memory budget (Fig. 10 comparison).
+    Gact {
+        /// Traceback memory per tile, bytes.
+        traceback_bytes: u64,
+    },
+    /// Untiled software Y-drop extension (LASTZ baseline).
+    Ydrop {
+        /// Y-drop threshold.
+        y: i64,
+    },
+}
+
+/// Full pipeline parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WgaParams {
+    /// Substitution matrix `W` (Table IIa).
+    pub scoring: SubstitutionMatrix,
+    /// Affine gap penalties (Table IIa).
+    pub gaps: GapPenalties,
+    /// Spaced seed pattern (Fig. 5).
+    pub seed_pattern: SeedPattern,
+    /// D-SOFT seeding parameters.
+    pub dsoft: DsoftParams,
+    /// Repeat cap: seed words occurring more often are masked.
+    pub max_seed_occurrences: usize,
+    /// Filtering stage.
+    pub filter: FilterStage,
+    /// Extension stage.
+    pub extension: ExtensionStage,
+    /// Extension threshold `H_e`: alignments scoring below are dropped.
+    pub extension_threshold: i64,
+    /// Also search the reverse-complement strand of the query.
+    pub both_strands: bool,
+}
+
+impl WgaParams {
+    /// Darwin-WGA defaults (Table II): gapped filtering + GACT-X.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wga_core::config::{FilterStage, WgaParams};
+    ///
+    /// let p = WgaParams::darwin_wga();
+    /// match p.filter {
+    ///     FilterStage::Gapped(g) => {
+    ///         assert_eq!(g.tile_size, 320);
+    ///         assert_eq!(g.band, 32);
+    ///     }
+    ///     _ => unreachable!(),
+    /// }
+    /// assert_eq!(p.extension_threshold, 4000);
+    /// ```
+    pub fn darwin_wga() -> WgaParams {
+        WgaParams {
+            scoring: SubstitutionMatrix::darwin_wga(),
+            gaps: GapPenalties::darwin_wga(),
+            seed_pattern: SeedPattern::lastz_default(),
+            dsoft: DsoftParams::default(),
+            max_seed_occurrences: 1000,
+            filter: FilterStage::Gapped(GappedFilterParams::default()),
+            extension: ExtensionStage::GactX(TilingParams::gactx_default()),
+            extension_threshold: 4000,
+            both_strands: false,
+        }
+    }
+
+    /// LASTZ-like baseline: identical scoring, seeding and extension, but
+    /// *ungapped* filtering with LASTZ's default thresholds (3000).
+    ///
+    /// The extension stage is deliberately the same GACT-X configuration
+    /// as [`WgaParams::darwin_wga`], so any sensitivity difference between
+    /// the two pipelines is attributable to the filtering stage alone —
+    /// the controlled comparison behind the paper's Table III claim that
+    /// "the added sensitivity can be completely attributed to [the]
+    /// gapped filtering stage" (§VI-B). Use [`WgaParams::lastz_ydrop`]
+    /// for the untiled software extension LASTZ actually ships.
+    pub fn lastz_baseline() -> WgaParams {
+        WgaParams {
+            filter: FilterStage::Ungapped(UngappedFilterParams::default()),
+            extension_threshold: 3000,
+            ..WgaParams::darwin_wga()
+        }
+    }
+
+    /// LASTZ-like baseline with LASTZ's own untiled Y-drop software
+    /// extension instead of GACT-X.
+    pub fn lastz_ydrop() -> WgaParams {
+        WgaParams {
+            extension: ExtensionStage::Ydrop { y: 9430 },
+            ..WgaParams::lastz_baseline()
+        }
+    }
+
+    /// Sets the filter threshold (`H_f`), preserving everything else.
+    pub fn with_filter_threshold(mut self, threshold: i64) -> WgaParams {
+        match &mut self.filter {
+            FilterStage::Gapped(p) => p.threshold = threshold,
+            FilterStage::Ungapped(p) => p.threshold = threshold,
+        }
+        self
+    }
+}
+
+impl Default for WgaParams {
+    fn default() -> Self {
+        WgaParams::darwin_wga()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn darwin_defaults_match_table_2() {
+        let p = WgaParams::darwin_wga();
+        assert_eq!(p.gaps.open, 430);
+        assert_eq!(p.gaps.extend, 30);
+        assert_eq!(p.seed_pattern.weight(), 12);
+        match p.extension {
+            ExtensionStage::GactX(t) => {
+                assert_eq!(t.tile_size, 1920);
+                assert_eq!(t.overlap, 128);
+                assert_eq!(t.y, 9430);
+            }
+            _ => panic!("default extension must be GACT-X"),
+        }
+    }
+
+    #[test]
+    fn lastz_baseline_uses_ungapped_filter() {
+        let p = WgaParams::lastz_baseline();
+        assert!(matches!(p.filter, FilterStage::Ungapped(_)));
+        assert_eq!(p.filter.threshold(), 3000);
+        assert_eq!(p.extension_threshold, 3000);
+    }
+
+    #[test]
+    fn with_filter_threshold() {
+        let p = WgaParams::darwin_wga().with_filter_threshold(3000);
+        assert_eq!(p.filter.threshold(), 3000);
+        let q = WgaParams::lastz_baseline().with_filter_threshold(500);
+        assert_eq!(q.filter.threshold(), 500);
+    }
+}

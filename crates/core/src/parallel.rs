@@ -1,0 +1,182 @@
+//! Multi-threaded pipeline driver.
+//!
+//! The paper uses all 36 threads of the baseline instance (§V-B) and
+//! D-SOFT itself is "implemented in software using multiple threads"
+//! (§IV). Filtering dominates WGA runtime (§III-A), and every filter tile
+//! is independent, so this driver fans the filter stage out across worker
+//! threads. Seeding and extension (which needs the sequential anchor-
+//! absorption state) stay on one thread, so results are *identical* to
+//! [`WgaPipeline::run`] — only wall-clock time changes.
+
+use crate::absorb::{merge_into_kept, AbsorptionGrid};
+use crate::config::WgaParams;
+use crate::pipeline::WgaPipeline;
+use crate::report::{Strand, WgaAlignment, WgaReport};
+use crate::stages::{run_extension, run_filter};
+use genome::Sequence;
+use parking_lot::Mutex;
+use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
+use std::time::Instant;
+
+/// Runs the pipeline with the filter stage spread over `threads` workers.
+///
+/// Produces the same alignments as the serial pipeline; stage timings are
+/// wall-clock, so `timings.filtering` shrinks with thread count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn run_parallel(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    threads: usize,
+) -> WgaReport {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 {
+        return WgaPipeline::new(params.clone()).run(target, query);
+    }
+
+    let seed_start = Instant::now();
+    let table = SeedTable::build(target, &params.seed_pattern, params.max_seed_occurrences);
+    let mut report = WgaReport::default();
+    report.timings.seeding += seed_start.elapsed();
+
+    run_strand_parallel(params, &table, target, query, Strand::Forward, threads, &mut report);
+    if params.both_strands {
+        let rc = query.reverse_complement();
+        run_strand_parallel(params, &table, target, &rc, Strand::Reverse, threads, &mut report);
+    }
+
+    report
+        .alignments
+        .sort_by_key(|a| std::cmp::Reverse(a.alignment.score));
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_strand_parallel(
+    params: &WgaParams,
+    table: &SeedTable,
+    target: &Sequence,
+    query: &Sequence,
+    strand: Strand,
+    threads: usize,
+    report: &mut WgaReport,
+) {
+    // --- Seeding (serial) -------------------------------------------------
+    let seed_start = Instant::now();
+    let seeding = dsoft_seeds(table, query, &params.dsoft);
+    report.timings.seeding += seed_start.elapsed();
+    report.workload.seeds += seeding.seeds_queried;
+    report.counters.raw_seed_hits += seeding.raw_hits;
+
+    // --- Filtering (parallel over hits) ------------------------------------
+    let filter_start = Instant::now();
+    let anchors = filter_hits_parallel(params, target, query, &seeding.hits, threads);
+    report.timings.filtering += filter_start.elapsed();
+    report.workload.filter_tiles += seeding.hits.len() as u64;
+    report.counters.hits_filtered += seeding.hits.len() as u64;
+    report.counters.anchors_passed += anchors.len() as u64;
+
+    // --- Extension (serial: absorption is stateful) -------------------------
+    let ext_start = Instant::now();
+    let mut anchors = anchors;
+    anchors.sort_by_key(|a| std::cmp::Reverse(a.filter_score));
+    let mut grid = AbsorptionGrid::new();
+    let mut kept: Vec<align::Alignment> = Vec::new();
+    for anchor in anchors {
+        if grid.covers(anchor.target_pos, anchor.query_pos) {
+            report.counters.anchors_absorbed += 1;
+            continue;
+        }
+        let Some(ext) = run_extension(params, target, query, anchor) else {
+            continue;
+        };
+        report.workload.extension_tiles += ext.stats.tiles;
+        report.workload.extension_cells += ext.stats.cells;
+        report.workload.extension_rows += ext.stats.rows;
+        if ext.alignment.score >= params.extension_threshold {
+            grid.insert_alignment(&ext.alignment);
+            if !merge_into_kept(&mut kept, ext.alignment) {
+                report.counters.anchors_absorbed += 1;
+            }
+        }
+    }
+    report.counters.alignments_kept += kept.len() as u64;
+    report
+        .alignments
+        .extend(kept.into_iter().map(|alignment| WgaAlignment { alignment, strand }));
+    report.timings.extension += ext_start.elapsed();
+}
+
+/// Filters `hits` across `threads` workers; anchor order follows hit
+/// order, so the result is deterministic.
+fn filter_hits_parallel(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    hits: &[SeedHit],
+    threads: usize,
+) -> Vec<Anchor> {
+    let results: Mutex<Vec<(usize, Vec<Anchor>)>> = Mutex::new(Vec::new());
+    let chunk = hits.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (idx, batch) in hits.chunks(chunk).enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let anchors: Vec<Anchor> = batch
+                    .iter()
+                    .filter_map(|&hit| run_filter(params, target, query, hit).anchor)
+                    .collect();
+                results.lock().push((idx, anchors));
+            });
+        }
+    })
+    .expect("filter worker panicked");
+    let mut batches = results.into_inner();
+    batches.sort_unstable_by_key(|(idx, _)| *idx);
+    batches.into_iter().flat_map(|(_, a)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::evolve::{EvolutionParams, SyntheticPair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_is_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let pair = SyntheticPair::generate(40_000, &EvolutionParams::at_distance(0.2), &mut rng);
+        let params = WgaParams::darwin_wga();
+        let serial =
+            WgaPipeline::new(params.clone()).run(&pair.target.sequence, &pair.query.sequence);
+        let parallel = run_parallel(&params, &pair.target.sequence, &pair.query.sequence, 4);
+        assert_eq!(serial.total_matches(), parallel.total_matches());
+        assert_eq!(serial.alignments.len(), parallel.alignments.len());
+        assert_eq!(serial.workload.filter_tiles, parallel.workload.filter_tiles);
+        assert_eq!(
+            serial.counters.anchors_passed,
+            parallel.counters.anchors_passed
+        );
+    }
+
+    #[test]
+    fn one_thread_delegates_to_serial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pair = SyntheticPair::generate(10_000, &EvolutionParams::at_distance(0.1), &mut rng);
+        let params = WgaParams::darwin_wga();
+        let a = run_parallel(&params, &pair.target.sequence, &pair.query.sequence, 1);
+        let b = WgaPipeline::new(params).run(&pair.target.sequence, &pair.query.sequence);
+        assert_eq!(a.total_matches(), b.total_matches());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let s: Sequence = "ACGT".parse().unwrap();
+        run_parallel(&WgaParams::darwin_wga(), &s, &s, 0);
+    }
+}

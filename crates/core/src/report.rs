@@ -1,0 +1,165 @@
+//! Run reports: alignments, workload counters, stage timings.
+
+use align::Alignment;
+use hwsim::Workload;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Query strand an alignment was found on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strand {
+    /// Forward (query as given).
+    Forward,
+    /// Reverse complement of the query; alignment coordinates refer to
+    /// the reverse-complemented sequence.
+    Reverse,
+}
+
+/// One output alignment with strand information.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WgaAlignment {
+    /// The alignment (query coordinates are on `strand`).
+    pub alignment: Alignment,
+    /// Query strand.
+    pub strand: Strand,
+}
+
+/// Wall-clock time spent per pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Seeding (table build + D-SOFT).
+    pub seeding: Duration,
+    /// Filtering (all tiles).
+    pub filtering: Duration,
+    /// Extension (all anchors).
+    pub extension: Duration,
+}
+
+impl StageTimings {
+    /// Total of all stages.
+    pub fn total(&self) -> Duration {
+        self.seeding + self.filtering + self.extension
+    }
+
+    /// Merges another timing record (summing stages).
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.seeding += other.seeding;
+        self.filtering += other.filtering;
+        self.extension += other.extension;
+    }
+}
+
+/// Funnel counters: how many candidates each stage saw and passed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunnelCounters {
+    /// Raw seed hits before diagonal-band deduplication.
+    pub raw_seed_hits: u64,
+    /// Seed hits handed to the filter (one per qualifying band).
+    pub hits_filtered: u64,
+    /// Anchors that passed the filter threshold.
+    pub anchors_passed: u64,
+    /// Anchors absorbed into existing alignments (not extended).
+    pub anchors_absorbed: u64,
+    /// Alignments surviving the extension threshold.
+    pub alignments_kept: u64,
+}
+
+impl FunnelCounters {
+    /// Merges another counter record.
+    pub fn merge(&mut self, other: &FunnelCounters) {
+        self.raw_seed_hits += other.raw_seed_hits;
+        self.hits_filtered += other.hits_filtered;
+        self.anchors_passed += other.anchors_passed;
+        self.anchors_absorbed += other.anchors_absorbed;
+        self.alignments_kept += other.alignments_kept;
+    }
+}
+
+/// Complete output of one pipeline run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WgaReport {
+    /// Output alignments, best score first.
+    pub alignments: Vec<WgaAlignment>,
+    /// Hardware-relevant workload (feeds the `hwsim` models).
+    pub workload: Workload,
+    /// Stage wall-clock timings of this (software) run.
+    pub timings: StageTimings,
+    /// Stage funnel counters.
+    pub counters: FunnelCounters,
+}
+
+impl WgaReport {
+    /// Forward-strand alignments only (what the ground-truth metrics of
+    /// the synthetic pairs evaluate).
+    pub fn forward_alignments(&self) -> Vec<Alignment> {
+        self.alignments
+            .iter()
+            .filter(|a| a.strand == Strand::Forward)
+            .map(|a| a.alignment.clone())
+            .collect()
+    }
+
+    /// Total matched base pairs across all output alignments.
+    pub fn total_matches(&self) -> u64 {
+        self.alignments.iter().map(|a| a.alignment.matches()).sum()
+    }
+}
+
+impl Default for Strand {
+    fn default() -> Self {
+        Strand::Forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use align::{AlignOp, Cigar};
+
+    #[test]
+    fn report_helpers() {
+        let mut c = Cigar::new();
+        c.push(AlignOp::Match, 10);
+        let report = WgaReport {
+            alignments: vec![
+                WgaAlignment {
+                    alignment: Alignment::new(0, 0, c.clone(), 900),
+                    strand: Strand::Forward,
+                },
+                WgaAlignment {
+                    alignment: Alignment::new(50, 50, c, 900),
+                    strand: Strand::Reverse,
+                },
+            ],
+            ..WgaReport::default()
+        };
+        assert_eq!(report.forward_alignments().len(), 1);
+        assert_eq!(report.total_matches(), 20);
+    }
+
+    #[test]
+    fn timings_total_and_merge() {
+        let mut t = StageTimings {
+            seeding: Duration::from_secs(1),
+            filtering: Duration::from_secs(2),
+            extension: Duration::from_secs(3),
+        };
+        assert_eq!(t.total(), Duration::from_secs(6));
+        t.merge(&t.clone());
+        assert_eq!(t.total(), Duration::from_secs(12));
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = FunnelCounters {
+            raw_seed_hits: 5,
+            hits_filtered: 4,
+            anchors_passed: 3,
+            anchors_absorbed: 1,
+            alignments_kept: 2,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.raw_seed_hits, 10);
+        assert_eq!(a.alignments_kept, 4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Stage implementations: filtering and extension dispatch.
+
+use crate::config::{ExtensionStage, FilterStage, WgaParams};
+use align::banded::{banded_smith_waterman, tile_around};
+use align::gactx::{self, ExtendedAlignment, TilingParams};
+use align::ungapped::ungapped_extend;
+use genome::Sequence;
+use seed::{Anchor, SeedHit};
+
+/// Result of filtering one seed hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterOutcome {
+    /// The anchor, when the hit passed the threshold.
+    pub anchor: Option<Anchor>,
+    /// DP cells (gapped) or diagonal cells (ungapped) evaluated.
+    pub cells: u64,
+}
+
+/// Runs the configured filter on one seed hit.
+///
+/// For the gapped filter a `T_f`-sized tile is centred on the hit
+/// (Fig. 4b) and banded Smith-Waterman returns `V_max` and its position
+/// `x_max`; for the ungapped filter the hit is extended along its
+/// diagonal. Either way the anchor is the position of the maximum score.
+pub fn run_filter(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    hit: SeedHit,
+) -> FilterOutcome {
+    match params.filter {
+        FilterStage::Gapped(f) => {
+            let (t_range, q_range) = tile_around(
+                hit.target_pos,
+                hit.query_pos,
+                f.tile_size,
+                target.len(),
+                query.len(),
+            );
+            let (t0, q0) = (t_range.start, q_range.start);
+            let out = banded_smith_waterman(
+                &target.as_slice()[t_range],
+                &query.as_slice()[q_range],
+                &params.scoring,
+                &params.gaps,
+                f.band,
+            );
+            let anchor = (out.max_score >= f.threshold).then(|| Anchor {
+                target_pos: t0 + out.target_pos,
+                query_pos: q0 + out.query_pos,
+                filter_score: out.max_score,
+            });
+            FilterOutcome {
+                anchor,
+                cells: out.cells,
+            }
+        }
+        FilterStage::Ungapped(f) => {
+            let seed_len = params
+                .seed_pattern
+                .span()
+                .min(target.len() - hit.target_pos)
+                .min(query.len() - hit.query_pos);
+            let out = ungapped_extend(
+                target.as_slice(),
+                query.as_slice(),
+                hit.target_pos,
+                hit.query_pos,
+                seed_len,
+                &params.scoring,
+                f.xdrop,
+            );
+            let anchor = (out.score >= f.threshold).then_some(Anchor {
+                target_pos: out.anchor_target,
+                query_pos: out.anchor_query,
+                filter_score: out.score,
+            });
+            FilterOutcome {
+                anchor,
+                cells: out.cells,
+            }
+        }
+    }
+}
+
+/// Runs the configured extension from one anchor.
+pub fn run_extension(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    anchor: Anchor,
+) -> Option<ExtendedAlignment> {
+    let tiling = match params.extension {
+        ExtensionStage::GactX(t) => t,
+        ExtensionStage::Gact { traceback_bytes } => TilingParams::gact_with_memory(traceback_bytes),
+        ExtensionStage::Ydrop { y } => TilingParams {
+            tile_size: 8192,
+            overlap: 256,
+            y,
+            edge_traceback: false,
+        },
+    };
+    gactx::extend_alignment(
+        target,
+        query,
+        anchor.target_pos.min(target.len()),
+        anchor.query_pos.min(query.len()),
+        &params.scoring,
+        &params.gaps,
+        &tiling,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WgaParams;
+
+    fn sequences() -> (Sequence, Sequence) {
+        // 128 bp shared core with long distinct flanks (longer than the
+        // 320-base filter tile, so a hit in the flank sees no homology).
+        let core = "ACGGTCAGTCGATTGCAGTCCATGGACTGATC".repeat(4);
+        let t: Sequence = format!("{}{}{}", "T".repeat(400), core, "T".repeat(400))
+            .parse()
+            .unwrap();
+        let q: Sequence = format!("{}{}{}", "G".repeat(400), core, "G".repeat(400))
+            .parse()
+            .unwrap();
+        (t, q)
+    }
+
+    #[test]
+    fn gapped_filter_passes_true_hit() {
+        let (t, q) = sequences();
+        let params = WgaParams::darwin_wga();
+        let out = run_filter(&params, &t, &q, SeedHit::new(420, 420));
+        let anchor = out.anchor.expect("true hit should pass");
+        assert!(anchor.filter_score >= 4000);
+        assert!(out.cells > 0);
+    }
+
+    #[test]
+    fn gapped_filter_rejects_noise() {
+        let (t, q) = sequences();
+        let params = WgaParams::darwin_wga();
+        // A hit in the mismatching flank region.
+        let out = run_filter(&params, &t, &q, SeedHit::new(10, 10));
+        assert!(out.anchor.is_none());
+    }
+
+    #[test]
+    fn ungapped_filter_passes_true_hit() {
+        let (t, q) = sequences();
+        let params = WgaParams::lastz_baseline();
+        let out = run_filter(&params, &t, &q, SeedHit::new(420, 420));
+        assert!(out.anchor.is_some());
+    }
+
+    #[test]
+    fn extension_produces_full_alignment() {
+        let (t, q) = sequences();
+        let params = WgaParams::darwin_wga();
+        let anchor = Anchor {
+            target_pos: 460,
+            query_pos: 460,
+            filter_score: 5000,
+        };
+        let ext = run_extension(&params, &t, &q, anchor).expect("alignment");
+        assert!(ext.alignment.matches() >= 120);
+    }
+
+    #[test]
+    fn filter_near_sequence_edges_does_not_panic() {
+        let (t, q) = sequences();
+        for params in [WgaParams::darwin_wga(), WgaParams::lastz_baseline()] {
+            let _ = run_filter(&params, &t, &q, SeedHit::new(0, 0));
+            let last = SeedHit::new(t.len() - 20, q.len() - 20);
+            let _ = run_filter(&params, &t, &q, last);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of pipeline-level invariants.
+
+use genome::evolve::{EvolutionParams, SyntheticPair};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wga_core::config::WgaParams;
+use wga_core::pipeline::WgaPipeline;
+
+fn synthetic(distance: f64, len: usize, seed: u64) -> SyntheticPair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SyntheticPair::generate(len, &EvolutionParams::at_distance(distance), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_invariants_hold_on_random_pairs(
+        seed in 0u64..10_000,
+        distance in 0.05f64..0.9,
+    ) {
+        let pair = synthetic(distance, 8_000, seed);
+        let report = WgaPipeline::new(WgaParams::darwin_wga())
+            .run(&pair.target.sequence, &pair.query.sequence);
+
+        // Funnel monotonicity.
+        prop_assert!(report.counters.anchors_passed <= report.counters.hits_filtered);
+        prop_assert!(
+            report.counters.alignments_kept + report.counters.anchors_absorbed
+                <= report.counters.anchors_passed
+        );
+        prop_assert_eq!(report.counters.alignments_kept, report.alignments.len() as u64);
+        prop_assert_eq!(report.workload.filter_tiles, report.counters.hits_filtered);
+
+        for wa in &report.alignments {
+            // Every alignment is consistent and above the threshold.
+            prop_assert!(wa.alignment.validate(&pair.target.sequence, &pair.query.sequence).is_ok());
+            prop_assert!(wa.alignment.score >= 4000);
+            // Scores are exact.
+            prop_assert_eq!(
+                wa.alignment.score,
+                wa.alignment.rescore(
+                    &pair.target.sequence,
+                    &pair.query.sequence,
+                    &genome::SubstitutionMatrix::darwin_wga(),
+                    &genome::GapPenalties::darwin_wga(),
+                )
+            );
+        }
+
+        // Sorted by descending score.
+        for w in report.alignments.windows(2) {
+            prop_assert!(w[0].alignment.score >= w[1].alignment.score);
+        }
+    }
+
+    #[test]
+    fn baseline_never_finds_more_than_iso_threshold_darwin(
+        seed in 0u64..10_000,
+    ) {
+        // With identical thresholds (He = Hf = 3000 for both), gapped
+        // filtering passes a superset of what ungapped filtering passes,
+        // so Darwin's anchors must be at least the baseline's.
+        let pair = synthetic(0.5, 8_000, seed);
+        let darwin = WgaPipeline::new(
+            WgaParams::darwin_wga().with_filter_threshold(3000),
+        )
+        .run(&pair.target.sequence, &pair.query.sequence);
+        let lastz = WgaPipeline::new(WgaParams::lastz_baseline())
+            .run(&pair.target.sequence, &pair.query.sequence);
+        prop_assert!(
+            darwin.counters.anchors_passed >= lastz.counters.anchors_passed,
+            "darwin {} < lastz {}",
+            darwin.counters.anchors_passed,
+            lastz.counters.anchors_passed
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Genomic intervals and ground-truth coordinate maps.
+//!
+//! The synthetic evolution model tracks, for every ancestral position, where
+//! it landed in each descendant. That gives us a ground-truth orthology map
+//! the paper did not have (it had to approximate one with TBLASTX), which we
+//! use for the exon-recovery metric of Table III.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A half-open interval `[start, end)` on a sequence, with a label.
+///
+/// Used for conserved elements ("exons") in the synthetic ancestor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Start coordinate (inclusive).
+    pub start: usize,
+    /// End coordinate (exclusive).
+    pub end: usize,
+    /// Free-form label, e.g. `exon_17`.
+    pub label: String,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: usize, end: usize, label: impl Into<String>) -> Interval {
+        assert!(start <= end, "interval start {start} > end {end}");
+        Interval {
+            start,
+            end,
+            label: label.into(),
+        }
+    }
+
+    /// Interval length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `pos` lies inside the interval.
+    pub fn contains(&self, pos: usize) -> bool {
+        (self.start..self.end).contains(&pos)
+    }
+
+    /// The interval as a `Range`.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of positions shared with `other`.
+    pub fn overlap(&self, other: &Interval) -> usize {
+        let lo = self.start.max(other.start);
+        let hi = self.end.min(other.end);
+        hi.saturating_sub(lo)
+    }
+}
+
+/// Maps ancestral coordinates to descendant coordinates.
+///
+/// `map[i] == Some(j)` means ancestral base `i` survives (possibly
+/// substituted) at descendant position `j`; `None` means it was deleted.
+/// Positions are strictly increasing over the surviving entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoordinateMap {
+    map: Vec<Option<u32>>,
+    descendant_len: usize,
+}
+
+impl CoordinateMap {
+    /// Builds a map from raw entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if surviving positions are not strictly increasing or exceed
+    /// `descendant_len`.
+    pub fn from_entries(map: Vec<Option<u32>>, descendant_len: usize) -> CoordinateMap {
+        let mut prev: Option<u32> = None;
+        for &entry in map.iter().flatten() {
+            assert!(
+                prev.map_or(true, |p| entry > p),
+                "coordinate map not increasing"
+            );
+            assert!(
+                (entry as usize) < descendant_len,
+                "coordinate {entry} out of bounds"
+            );
+            prev = Some(entry);
+        }
+        CoordinateMap {
+            map,
+            descendant_len,
+        }
+    }
+
+    /// Length of the ancestral sequence.
+    pub fn ancestor_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Length of the descendant sequence.
+    pub fn descendant_len(&self) -> usize {
+        self.descendant_len
+    }
+
+    /// Descendant position of ancestral base `pos`, if it survives.
+    pub fn lookup(&self, pos: usize) -> Option<usize> {
+        self.map.get(pos).copied().flatten().map(|p| p as usize)
+    }
+
+    /// Number of ancestral bases that survive in the descendant.
+    pub fn surviving(&self) -> usize {
+        self.map.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Projects an ancestral interval to the descendant: the smallest
+    /// interval containing all surviving bases, or `None` if every base was
+    /// deleted.
+    pub fn project(&self, interval: &Interval) -> Option<Interval> {
+        let mut lo: Option<usize> = None;
+        let mut hi: Option<usize> = None;
+        for pos in interval.range() {
+            if let Some(d) = self.lookup(pos) {
+                if lo.is_none() {
+                    lo = Some(d);
+                }
+                hi = Some(d);
+            }
+        }
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => Some(Interval::new(lo, hi + 1, interval.label.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// Ground-truth orthologous base pairs between two descendants of a common
+/// ancestor: ancestral bases surviving in *both* lineages.
+///
+/// Returns `(pos_in_a, pos_in_b)` pairs in increasing order.
+pub fn orthologous_pairs(a: &CoordinateMap, b: &CoordinateMap) -> Vec<(usize, usize)> {
+    assert_eq!(
+        a.ancestor_len(),
+        b.ancestor_len(),
+        "maps have different ancestors"
+    );
+    let mut pairs = Vec::new();
+    for pos in 0..a.ancestor_len() {
+        if let (Some(pa), Some(pb)) = (a.lookup(pos), b.lookup(pos)) {
+            pairs.push((pa, pb));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(10, 20, "exon_1");
+        assert_eq!(iv.len(), 10);
+        assert!(iv.contains(10));
+        assert!(!iv.contains(20));
+        assert!(!iv.is_empty());
+        assert_eq!(iv.overlap(&Interval::new(15, 30, "x")), 5);
+        assert_eq!(iv.overlap(&Interval::new(20, 30, "x")), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval start")]
+    fn interval_rejects_inverted() {
+        Interval::new(5, 4, "bad");
+    }
+
+    #[test]
+    fn coordinate_map_lookup_and_project() {
+        // ancestor len 6; base 2 deleted; insertion shifted tail.
+        let map = CoordinateMap::from_entries(
+            vec![Some(0), Some(1), None, Some(4), Some(5), Some(6)],
+            7,
+        );
+        assert_eq!(map.ancestor_len(), 6);
+        assert_eq!(map.descendant_len(), 7);
+        assert_eq!(map.lookup(0), Some(0));
+        assert_eq!(map.lookup(2), None);
+        assert_eq!(map.lookup(3), Some(4));
+        assert_eq!(map.surviving(), 5);
+
+        let projected = map.project(&Interval::new(1, 5, "e")).unwrap();
+        assert_eq!((projected.start, projected.end), (1, 6));
+
+        // Fully deleted interval projects to None.
+        assert_eq!(map.project(&Interval::new(2, 3, "gone")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not increasing")]
+    fn coordinate_map_rejects_decreasing() {
+        CoordinateMap::from_entries(vec![Some(3), Some(2)], 5);
+    }
+
+    #[test]
+    fn orthologous_pairs_intersect_survivors() {
+        let a = CoordinateMap::from_entries(vec![Some(0), None, Some(1), Some(2)], 3);
+        let b = CoordinateMap::from_entries(vec![Some(0), Some(1), Some(2), None], 3);
+        assert_eq!(orthologous_pairs(&a, &b), vec![(0, 0), (1, 2)]);
+    }
+}

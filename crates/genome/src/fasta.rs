@@ -1,0 +1,215 @@
+//! Minimal FASTA reading and writing.
+//!
+//! Darwin-WGA consumes plain (uncompressed) FASTA with one or more records;
+//! record names are the first whitespace-delimited token of the header.
+
+use crate::sequence::Sequence;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// A named FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record name (first token of the `>` header).
+    pub name: String,
+    /// Full header line without the leading `>`.
+    pub description: String,
+    /// The sequence.
+    pub sequence: Sequence,
+}
+
+/// Error produced while parsing FASTA input.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// A sequence line contained an invalid character.
+    InvalidBase {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The invalid byte.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "i/o error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "line {line}: sequence data before any '>' header")
+            }
+            FastaError::InvalidBase { line, byte } => {
+                write!(f, "line {line}: invalid sequence byte {:#04x}", byte)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Reads all records from FASTA input.
+///
+/// A `&mut R` may be passed for readers that should remain usable afterwards.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on I/O failure, on sequence data before the first
+/// header, or on invalid sequence characters.
+///
+/// # Examples
+///
+/// ```
+/// let input = b">chr1 test\nACGT\nacgt\n>chr2\nTTTT\n";
+/// let records = genome::fasta::read(&input[..])?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].name, "chr1");
+/// assert_eq!(records[0].sequence.len(), 8);
+/// # Ok::<(), genome::fasta::FastaError>(())
+/// ```
+pub fn read<R: BufRead>(reader: R) -> Result<Vec<Record>, FastaError> {
+    let mut records: Vec<Record> = Vec::new();
+    let mut current: Option<Record> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            let description = header.trim().to_string();
+            let name = description
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_string();
+            current = Some(Record {
+                name,
+                description,
+                sequence: Sequence::new(),
+            });
+        } else {
+            let rec = current
+                .as_mut()
+                .ok_or(FastaError::MissingHeader { line: idx + 1 })?;
+            for &byte in line.as_bytes() {
+                if byte.is_ascii_whitespace() {
+                    continue;
+                }
+                let base = crate::Base::from_ascii(byte).ok_or(FastaError::InvalidBase {
+                    line: idx + 1,
+                    byte,
+                })?;
+                rec.sequence.push(base);
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Writes records as FASTA with 70-column wrapping.
+///
+/// A `&mut W` may be passed for writers that should remain usable afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write<W: Write>(mut writer: W, records: &[Record]) -> io::Result<()> {
+    for rec in records {
+        if rec.description.is_empty() {
+            writeln!(writer, ">{}", rec.name)?;
+        } else {
+            writeln!(writer, ">{}", rec.description)?;
+        }
+        let ascii: Vec<u8> = rec.sequence.iter().map(|b| b.to_ascii()).collect();
+        for chunk in ascii.chunks(70) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_multi_record() {
+        let input = b">a desc here\nACGT\nACGT\n\n>b\nNNNN\n";
+        let recs = read(&input[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "a");
+        assert_eq!(recs[0].description, "a desc here");
+        assert_eq!(recs[0].sequence.to_string(), "ACGTACGT");
+        assert_eq!(recs[1].sequence.to_string(), "NNNN");
+    }
+
+    #[test]
+    fn read_rejects_headerless_data() {
+        let err = read(&b"ACGT\n"[..]).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn read_rejects_bad_byte() {
+        let err = read(&b">a\nAC-T\n"[..]).unwrap_err();
+        match err {
+            FastaError::InvalidBase { line, byte } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, b'-');
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let recs = vec![
+            Record {
+                name: "chrX".into(),
+                description: "chrX synthetic".into(),
+                sequence: "ACGT".repeat(40).parse().unwrap(),
+            },
+            Record {
+                name: "chrY".into(),
+                description: String::new(),
+                sequence: "GATTACA".parse().unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write(&mut buf, &recs).unwrap();
+        let parsed = read(&buf[..]).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].sequence, recs[0].sequence);
+        assert_eq!(parsed[1].name, "chrY");
+        assert_eq!(parsed[1].sequence, recs[1].sequence);
+        // wrapped at 70 columns
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().all(|l| l.len() <= 70));
+    }
+}

@@ -1,0 +1,38 @@
+//! Translated (TBLASTX-like) sequence search.
+//!
+//! The paper's §IX names "TBLASTX-like search in the amino acid space for
+//! protein-coding genes" as Darwin-WGA's next extension, and §V-E uses
+//! TBLASTX as the oracle defining which exons a whole-genome aligner
+//! *should* find. This crate implements that capability from scratch:
+//! the standard genetic code and six-frame translation ([`amino`]),
+//! BLOSUM62 scoring ([`blosum`]), and a seeded, X-drop-extended
+//! translated search ([`search`]).
+//!
+//! Protein space is far more conserved than DNA space for coding
+//! sequence — synonymous third-codon positions diverge freely without
+//! touching the peptide — so translated search recovers coding homology
+//! that DNA-level alignment loses at distance.
+//!
+//! # Quick start
+//!
+//! ```
+//! use genome::Sequence;
+//! use protein::amino::{translate, Frame};
+//!
+//! let dna: Sequence = "ATGGCATGGTAA".parse()?;
+//! let peptide = translate(&dna, Frame { offset: 0, reverse: false });
+//! let text: String = peptide.peptide.iter().map(|a| a.to_char()).collect();
+//! assert_eq!(text, "MAW*");
+//! # Ok::<(), genome::ParseBaseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amino;
+pub mod blosum;
+pub mod search;
+
+pub use amino::{translate, AminoAcid, Frame};
+pub use blosum::ProteinMatrix;
+pub use search::{tblastx, TblastxParams, TranslatedHit};

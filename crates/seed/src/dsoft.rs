@@ -1,0 +1,268 @@
+//! D-SOFT seeding as modified for Darwin-WGA (§III-B, Fig. 4a).
+//!
+//! The query is split into chunks of `c` bases; target positions are
+//! grouped into bins of `b` bases. A (chunk, bin) pair identifies one
+//! *diagonal band*. Seed hits are counted per band, and a band whose hit
+//! count reaches the threshold `h` contributes **at most one** seed hit to
+//! the filtering stage — this de-duplication of nearby hits is what keeps
+//! the (enormous) seeding output tractable for the filter.
+
+use crate::hit::SeedHit;
+use crate::pattern::SeedPattern;
+use crate::table::SeedTable;
+use genome::Sequence;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// D-SOFT parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DsoftParams {
+    /// Query chunk size `c` (bases).
+    pub chunk_size: usize,
+    /// Target bin size `b` (bases).
+    pub bin_size: usize,
+    /// Minimum seed hits per diagonal band `h`.
+    pub threshold: u32,
+    /// Whether to look up one-transition seed variants as well.
+    pub transitions: bool,
+    /// Stride between sampled query positions (1 = every position).
+    pub query_stride: usize,
+}
+
+impl DsoftParams {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes, stride or threshold.
+    pub fn validate(&self) {
+        assert!(self.chunk_size > 0, "chunk size must be positive");
+        assert!(self.bin_size > 0, "bin size must be positive");
+        assert!(self.threshold > 0, "threshold must be positive");
+        assert!(self.query_stride > 0, "stride must be positive");
+    }
+}
+
+impl Default for DsoftParams {
+    fn default() -> Self {
+        DsoftParams {
+            chunk_size: 128,
+            bin_size: 128,
+            threshold: 1,
+            transitions: true,
+            query_stride: 1,
+        }
+    }
+}
+
+/// Output of D-SOFT seeding, with workload counters for Table V.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DsoftResult {
+    /// One representative seed hit per qualifying diagonal band.
+    pub hits: Vec<SeedHit>,
+    /// Seed words looked up (the paper's "Seeds" workload column).
+    pub seeds_queried: u64,
+    /// Raw (pre-banding) seed hits found.
+    pub raw_hits: u64,
+    /// Number of diagonal bands that received at least one hit.
+    pub bands_touched: u64,
+}
+
+/// Runs D-SOFT seeding of `query` against an indexed target.
+///
+/// Returns at most one hit per (chunk, target-bin) diagonal band — the
+/// *first* hit the band received, which sits closest to the band's
+/// upstream edge and therefore centres the filter tile best.
+///
+/// # Examples
+///
+/// ```
+/// use genome::Sequence;
+/// use seed::{dsoft::{dsoft_seeds, DsoftParams}, pattern::SeedPattern, table::SeedTable};
+///
+/// let t: Sequence = "TTTTTTTTACGTACGTACGTACGTTTTTTTTT".parse()?;
+/// let q: Sequence = "GGGGACGTACGTACGTACGTGGGG".parse()?;
+/// let pattern = SeedPattern::exact(12);
+/// let table = SeedTable::build(&t, &pattern, 64);
+/// let result = dsoft_seeds(&table, &q, &DsoftParams::default());
+/// assert!(!result.hits.is_empty());
+/// # Ok::<(), genome::ParseBaseError>(())
+/// ```
+pub fn dsoft_seeds(table: &SeedTable, query: &Sequence, params: &DsoftParams) -> DsoftResult {
+    params.validate();
+    let pattern: &SeedPattern = table.pattern();
+    let qslice = query.as_slice();
+    let mut result = DsoftResult::default();
+    // band key: (chunk index, target bin) → count and first hit.
+    let mut bands: HashMap<(u32, u32), (u32, SeedHit)> = HashMap::new();
+
+    let end = query.len().saturating_sub(pattern.span().saturating_sub(1));
+    let mut qpos = 0usize;
+    while qpos < end {
+        let words = if params.transitions {
+            pattern.extract_with_transitions(qslice, qpos)
+        } else {
+            pattern.extract(qslice, qpos).into_iter().collect()
+        };
+        result.seeds_queried += words.len() as u64;
+        let chunk = (qpos / params.chunk_size) as u32;
+        for word in words {
+            for &tpos in table.lookup(word) {
+                result.raw_hits += 1;
+                let bin = (tpos as usize / params.bin_size) as u32;
+                let entry = bands
+                    .entry((chunk, bin))
+                    .or_insert((0, SeedHit::new(tpos as usize, qpos)));
+                entry.0 += 1;
+            }
+        }
+        qpos += params.query_stride;
+    }
+
+    result.bands_touched = bands.len() as u64;
+    let mut hits: Vec<SeedHit> = bands
+        .into_values()
+        .filter(|(count, _)| *count >= params.threshold)
+        .map(|(_, hit)| hit)
+        .collect();
+    hits.sort_unstable();
+    hits.dedup();
+    result.hits = hits;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(target: &str, pattern_k: usize) -> (SeedTable, SeedPattern) {
+        let t: Sequence = target.parse().unwrap();
+        let p = SeedPattern::exact(pattern_k);
+        (SeedTable::build(&t, &p, usize::MAX), p)
+    }
+
+    #[test]
+    fn finds_exact_match_hit() {
+        let shared = "ACGGTCAGTCGATTGCAGTC";
+        let target = format!("TTTTTTTT{shared}TTTTTTTT");
+        let query = format!("GGGG{shared}GGGG");
+        let (table, _) = setup(&target, 12);
+        let q: Sequence = query.parse().unwrap();
+        let r = dsoft_seeds(&table, &q, &DsoftParams::default());
+        assert!(!r.hits.is_empty());
+        let hit = r.hits[0];
+        assert_eq!(hit.target_pos, 8);
+        assert_eq!(hit.query_pos, 4);
+    }
+
+    #[test]
+    fn one_hit_per_band() {
+        // A long shared region produces many raw hits but bands collapse
+        // them to a handful.
+        let shared = "ACGGTCAGTCGATTGCAGTCACGGTCAGTCGATTGCAGTC".repeat(4);
+        let target = shared.clone();
+        let (table, _) = setup(&target, 12);
+        let q: Sequence = shared.parse().unwrap();
+        let params = DsoftParams {
+            chunk_size: 64,
+            bin_size: 64,
+            threshold: 1,
+            transitions: false,
+            query_stride: 1,
+        };
+        let r = dsoft_seeds(&table, &q, &params);
+        assert!(r.raw_hits > r.hits.len() as u64 * 3);
+        assert!(r.hits.len() as u64 <= r.bands_touched);
+    }
+
+    #[test]
+    fn threshold_filters_sparse_bands() {
+        let shared = "ACGGTCAGTCGATTGCAGTC"; // 20 bp → 9 seed positions at k=12
+        let target = format!("TTTTTTTT{shared}TTTTTTTTTT");
+        let query = format!("GGGG{shared}GGGGGG");
+        let (table, _) = setup(&target, 12);
+        let q: Sequence = query.parse().unwrap();
+        let lenient = DsoftParams {
+            threshold: 1,
+            transitions: false,
+            ..DsoftParams::default()
+        };
+        let strict = DsoftParams {
+            threshold: 50,
+            transitions: false,
+            ..DsoftParams::default()
+        };
+        assert!(!dsoft_seeds(&table, &q, &lenient).hits.is_empty());
+        assert!(dsoft_seeds(&table, &q, &strict).hits.is_empty());
+    }
+
+    #[test]
+    fn transitions_increase_lookups_and_can_rescue_hits() {
+        // Query differs from target by one transition (A→G) inside the
+        // only seed window.
+        let target = "TTTTACGTACGTACGTTTTT";
+        let query = "GGGGGCGTACGTACGTGGGG"; // A→G at the window start
+        let (table, _) = setup(target, 12);
+        let q: Sequence = query.parse().unwrap();
+        let without = dsoft_seeds(
+            &table,
+            &q,
+            &DsoftParams {
+                transitions: false,
+                ..DsoftParams::default()
+            },
+        );
+        let with = dsoft_seeds(
+            &table,
+            &q,
+            &DsoftParams {
+                transitions: true,
+                ..DsoftParams::default()
+            },
+        );
+        assert!(with.seeds_queried > without.seeds_queried * 10);
+        assert!(with.raw_hits >= without.raw_hits);
+        assert!(!with.hits.is_empty());
+    }
+
+    #[test]
+    fn stride_reduces_lookups() {
+        let target = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+        let (table, _) = setup(target, 12);
+        let q: Sequence = target.parse().unwrap();
+        let stride1 = dsoft_seeds(
+            &table,
+            &q,
+            &DsoftParams {
+                transitions: false,
+                ..DsoftParams::default()
+            },
+        );
+        let stride4 = dsoft_seeds(
+            &table,
+            &q,
+            &DsoftParams {
+                transitions: false,
+                query_stride: 4,
+                ..DsoftParams::default()
+            },
+        );
+        assert!(stride4.seeds_queried < stride1.seeds_queried);
+        assert!(!stride4.hits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_zero_threshold() {
+        let (table, _) = setup("ACGTACGTACGTACGT", 12);
+        let q: Sequence = "ACGTACGTACGTACGT".parse().unwrap();
+        dsoft_seeds(
+            &table,
+            &q,
+            &DsoftParams {
+                threshold: 0,
+                ..DsoftParams::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Seed hits and anchors shared between pipeline stages.
+
+use serde::{Deserialize, Serialize};
+
+/// A seed hit: a spaced-seed match between target and query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeedHit {
+    /// Target position of the seed window start.
+    pub target_pos: usize,
+    /// Query position of the seed window start.
+    pub query_pos: usize,
+}
+
+impl SeedHit {
+    /// Creates a seed hit.
+    pub fn new(target_pos: usize, query_pos: usize) -> SeedHit {
+        SeedHit {
+            target_pos,
+            query_pos,
+        }
+    }
+
+    /// The hit's diagonal (`target - query`), which is constant along a
+    /// gap-free alignment.
+    pub fn diagonal(&self) -> isize {
+        self.target_pos as isize - self.query_pos as isize
+    }
+}
+
+/// An anchor produced by the filtering stage: the position of the filter
+/// tile's maximum score, from which the extension stage starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Anchor {
+    /// Target coordinate.
+    pub target_pos: usize,
+    /// Query coordinate.
+    pub query_pos: usize,
+    /// Filter score that qualified this anchor.
+    pub filter_score: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal() {
+        assert_eq!(SeedHit::new(10, 4).diagonal(), 6);
+        assert_eq!(SeedHit::new(4, 10).diagonal(), -6);
+    }
+}

@@ -1,0 +1,275 @@
+//! Spaced seed patterns (§III-B, Fig. 5).
+//!
+//! A spaced seed samples a window of the genome at its `1` positions; two
+//! windows produce a "seed hit" when all sampled bases agree. The default
+//! pattern in both LASTZ and Darwin-WGA is the 12-of-19 seed. Optionally a
+//! single *transition* substitution (`A↔G`, `C↔T`) is tolerated at any one
+//! match position, which multiplies the number of seed words looked up per
+//! position by `(m + 1)` — the computation/sensitivity trade-off the paper
+//! describes.
+
+use genome::Base;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A spaced seed pattern: a string over `{'1', '0'}` where `1` positions
+/// are sampled and `0` positions are don't-cares.
+///
+/// # Examples
+///
+/// ```
+/// use seed::pattern::SeedPattern;
+///
+/// let p = SeedPattern::lastz_default();
+/// assert_eq!(p.span(), 19);
+/// assert_eq!(p.weight(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeedPattern {
+    /// Offsets of the `1` positions within the span.
+    sampled: Vec<usize>,
+    span: usize,
+}
+
+impl SeedPattern {
+    /// The default 12-of-19 seed used by LASTZ and Darwin-WGA
+    /// (`1110100110010101111`).
+    pub fn lastz_default() -> SeedPattern {
+        "1110100110010101111".parse().expect("valid pattern")
+    }
+
+    /// A contiguous k-mer seed (all positions sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 31`.
+    pub fn exact(k: usize) -> SeedPattern {
+        assert!(k > 0 && k <= 31, "k must be in 1..=31");
+        SeedPattern {
+            sampled: (0..k).collect(),
+            span: k,
+        }
+    }
+
+    /// Window length the pattern covers.
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// Number of sampled (`1`) positions.
+    pub fn weight(&self) -> usize {
+        self.sampled.len()
+    }
+
+    /// Offsets of the sampled positions.
+    pub fn sampled_offsets(&self) -> &[usize] {
+        &self.sampled
+    }
+
+    /// Extracts the seed word from a window starting at `pos`.
+    ///
+    /// Returns `None` when the window overruns the sequence or any sampled
+    /// base is `N` (ambiguous bases never seed).
+    #[inline]
+    pub fn extract(&self, seq: &[Base], pos: usize) -> Option<u64> {
+        if pos + self.span > seq.len() {
+            return None;
+        }
+        let mut word = 0u64;
+        for &off in &self.sampled {
+            let b = seq[pos + off];
+            if b == Base::N {
+                return None;
+            }
+            word = (word << 2) | b.code2() as u64;
+        }
+        Some(word)
+    }
+
+    /// Extracts the exact word plus every one-transition variant
+    /// (Fig. 5b): `weight()` extra words where one sampled base is replaced
+    /// by its transition partner. The exact word is always first.
+    pub fn extract_with_transitions(&self, seq: &[Base], pos: usize) -> Vec<u64> {
+        let Some(exact) = self.extract(seq, pos) else {
+            return Vec::new();
+        };
+        let m = self.weight();
+        let mut words = Vec::with_capacity(m + 1);
+        words.push(exact);
+        for k in 0..m {
+            // Sampled position k occupies bits [2*(m-1-k), 2*(m-1-k)+1].
+            let shift = 2 * (m - 1 - k);
+            let code = ((exact >> shift) & 0b11) as u8;
+            let partner = Base::from_code(code).transition_partner().code2() as u64;
+            let variant = (exact & !(0b11u64 << shift)) | (partner << shift);
+            words.push(variant);
+        }
+        words
+    }
+
+    /// Number of distinct seed words a query position produces
+    /// (`1` without transitions, `weight() + 1` with).
+    pub fn words_per_position(&self, transitions: bool) -> usize {
+        if transitions {
+            self.weight() + 1
+        } else {
+            1
+        }
+    }
+}
+
+impl FromStr for SeedPattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<SeedPattern, ParsePatternError> {
+        if s.is_empty() {
+            return Err(ParsePatternError::Empty);
+        }
+        let mut sampled = Vec::new();
+        for (i, ch) in s.chars().enumerate() {
+            match ch {
+                '1' => sampled.push(i),
+                '0' => {}
+                other => return Err(ParsePatternError::BadChar(other)),
+            }
+        }
+        if sampled.is_empty() {
+            return Err(ParsePatternError::NoSampledPositions);
+        }
+        if sampled.len() > 31 {
+            return Err(ParsePatternError::TooHeavy(sampled.len()));
+        }
+        if !s.starts_with('1') || !s.ends_with('1') {
+            return Err(ParsePatternError::UntrimmedEnds);
+        }
+        Ok(SeedPattern {
+            sampled,
+            span: s.len(),
+        })
+    }
+}
+
+impl fmt::Display for SeedPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut chars = vec!['0'; self.span];
+        for &off in &self.sampled {
+            chars[off] = '1';
+        }
+        write!(f, "{}", chars.into_iter().collect::<String>())
+    }
+}
+
+/// Error parsing a seed-pattern string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsePatternError {
+    /// Empty pattern string.
+    Empty,
+    /// Character other than `0`/`1`.
+    BadChar(char),
+    /// No `1` positions at all.
+    NoSampledPositions,
+    /// More than 31 sampled positions (word would overflow `u64`).
+    TooHeavy(usize),
+    /// Pattern must start and end with `1`.
+    UntrimmedEnds,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePatternError::Empty => write!(f, "empty seed pattern"),
+            ParsePatternError::BadChar(c) => write!(f, "invalid pattern character {c:?}"),
+            ParsePatternError::NoSampledPositions => write!(f, "pattern has no '1' positions"),
+            ParsePatternError::TooHeavy(n) => write!(f, "pattern weight {n} exceeds 31"),
+            ParsePatternError::UntrimmedEnds => {
+                write!(f, "pattern must start and end with '1'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::Sequence;
+
+    #[test]
+    fn lastz_default_shape() {
+        let p = SeedPattern::lastz_default();
+        assert_eq!(p.span(), 19);
+        assert_eq!(p.weight(), 12);
+        assert_eq!(p.to_string(), "1110100110010101111");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let p: SeedPattern = "1101".parse().unwrap();
+        assert_eq!(p.to_string(), "1101");
+        assert_eq!(p.sampled_offsets(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("".parse::<SeedPattern>(), Err(ParsePatternError::Empty));
+        assert_eq!(
+            "1021".parse::<SeedPattern>(),
+            Err(ParsePatternError::BadChar('2'))
+        );
+        assert_eq!(
+            "0110".parse::<SeedPattern>(),
+            Err(ParsePatternError::UntrimmedEnds)
+        );
+        assert_eq!(
+            "0".parse::<SeedPattern>(),
+            Err(ParsePatternError::NoSampledPositions)
+        );
+    }
+
+    #[test]
+    fn extract_ignores_dont_care_positions() {
+        let p: SeedPattern = "101".parse().unwrap();
+        let a: Sequence = "ACA".parse().unwrap();
+        let b: Sequence = "ATA".parse().unwrap();
+        assert_eq!(p.extract(a.as_slice(), 0), p.extract(b.as_slice(), 0));
+        let c: Sequence = "TCA".parse().unwrap();
+        assert_ne!(p.extract(a.as_slice(), 0), p.extract(c.as_slice(), 0));
+    }
+
+    #[test]
+    fn extract_rejects_n_and_overruns() {
+        let p = SeedPattern::exact(4);
+        let s: Sequence = "ACGTNACGT".parse().unwrap();
+        assert_eq!(p.extract(s.as_slice(), 1), None); // contains N
+        assert_eq!(p.extract(s.as_slice(), 6), None); // overruns
+        assert!(p.extract(s.as_slice(), 0).is_some());
+        assert!(p.extract(s.as_slice(), 5).is_some());
+    }
+
+    #[test]
+    fn transition_variants_count_and_match() {
+        let p = SeedPattern::exact(4);
+        let s: Sequence = "ACGT".parse().unwrap();
+        let words = p.extract_with_transitions(s.as_slice(), 0);
+        assert_eq!(words.len(), 5);
+        // The transition variant at position 0 equals the word of "GCGT".
+        let g: Sequence = "GCGT".parse().unwrap();
+        assert_eq!(words[1], p.extract(g.as_slice(), 0).unwrap());
+        // The variant at position 3 equals the word of "ACGC".
+        let c: Sequence = "ACGC".parse().unwrap();
+        assert_eq!(words[4], p.extract(c.as_slice(), 0).unwrap());
+        // All variants are distinct from the exact word.
+        for v in &words[1..] {
+            assert_ne!(*v, words[0]);
+        }
+    }
+
+    #[test]
+    fn words_per_position() {
+        let p = SeedPattern::lastz_default();
+        assert_eq!(p.words_per_position(false), 1);
+        assert_eq!(p.words_per_position(true), 13);
+    }
+}

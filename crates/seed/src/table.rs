@@ -1,0 +1,145 @@
+//! Seed table: an index from seed words to target positions.
+
+use crate::pattern::SeedPattern;
+use genome::Sequence;
+use std::collections::HashMap;
+
+/// An index of every seed word in the target genome.
+///
+/// Built once per target; query positions are then matched by word lookup.
+/// Words whose position list exceeds `max_occurrences` are dropped as
+/// repeats (the standard masking heuristic — ultra-frequent words come
+/// from repetitive DNA and only produce noise).
+///
+/// # Examples
+///
+/// ```
+/// use seed::{pattern::SeedPattern, table::SeedTable};
+/// use genome::Sequence;
+///
+/// let target: Sequence = "ACGTACGTACGT".parse()?;
+/// let pattern = SeedPattern::exact(8);
+/// let table = SeedTable::build(&target, &pattern, usize::MAX);
+/// let word = pattern.extract(target.as_slice(), 0).unwrap();
+/// assert_eq!(table.lookup(word), &[0, 4]);
+/// # Ok::<(), genome::ParseBaseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeedTable {
+    index: HashMap<u64, Vec<u32>>,
+    pattern: SeedPattern,
+    positions_indexed: u64,
+    dropped_repeats: u64,
+}
+
+impl SeedTable {
+    /// Indexes every position of `target`.
+    ///
+    /// `max_occurrences` caps the per-word position list; words over the
+    /// cap are removed entirely.
+    pub fn build(target: &Sequence, pattern: &SeedPattern, max_occurrences: usize) -> SeedTable {
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let slice = target.as_slice();
+        let mut positions_indexed = 0u64;
+        let end = target.len().saturating_sub(pattern.span().saturating_sub(1));
+        for pos in 0..end {
+            if let Some(word) = pattern.extract(slice, pos) {
+                index.entry(word).or_default().push(pos as u32);
+                positions_indexed += 1;
+            }
+        }
+        let mut dropped_repeats = 0u64;
+        index.retain(|_, positions| {
+            if positions.len() > max_occurrences {
+                dropped_repeats += positions.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        SeedTable {
+            index,
+            pattern: pattern.clone(),
+            positions_indexed,
+            dropped_repeats,
+        }
+    }
+
+    /// Target positions whose window hashes to `word`.
+    pub fn lookup(&self, word: u64) -> &[u32] {
+        self.index.get(&word).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The pattern this table was built with.
+    pub fn pattern(&self) -> &SeedPattern {
+        &self.pattern
+    }
+
+    /// Number of positions successfully indexed.
+    pub fn positions_indexed(&self) -> u64 {
+        self.positions_indexed
+    }
+
+    /// Number of positions dropped by the repeat cap.
+    pub fn dropped_repeats(&self) -> u64 {
+        self.dropped_repeats
+    }
+
+    /// Number of distinct words present.
+    pub fn distinct_words(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_all_positions() {
+        let t: Sequence = "ACGTACGTAC".parse().unwrap();
+        let p = SeedPattern::exact(4);
+        let table = SeedTable::build(&t, &p, usize::MAX);
+        assert_eq!(table.positions_indexed(), 7);
+        let word = p.extract(t.as_slice(), 1).unwrap();
+        assert_eq!(table.lookup(word), &[1, 5]);
+    }
+
+    #[test]
+    fn skips_n_windows() {
+        let t: Sequence = "ACGTNACGT".parse().unwrap();
+        let p = SeedPattern::exact(4);
+        let table = SeedTable::build(&t, &p, usize::MAX);
+        // Positions 1..=4 contain the N.
+        assert_eq!(table.positions_indexed(), 2);
+    }
+
+    #[test]
+    fn repeat_cap_drops_frequent_words() {
+        let t: Sequence = "AAAAAAAAAAAAAAAA".parse().unwrap();
+        let p = SeedPattern::exact(4);
+        let capped = SeedTable::build(&t, &p, 4);
+        assert_eq!(capped.distinct_words(), 0);
+        assert_eq!(capped.dropped_repeats(), 13);
+        let uncapped = SeedTable::build(&t, &p, usize::MAX);
+        assert_eq!(uncapped.distinct_words(), 1);
+    }
+
+    #[test]
+    fn lookup_of_absent_word_is_empty() {
+        let t: Sequence = "ACGT".parse().unwrap();
+        let table = SeedTable::build(&t, &SeedPattern::exact(4), usize::MAX);
+        assert!(table.lookup(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn spaced_pattern_matches_despite_dont_care_mismatch() {
+        // Pattern 1-0-1: middle base free.
+        let p: SeedPattern = "101".parse().unwrap();
+        let t: Sequence = "AGA".parse().unwrap();
+        let q: Sequence = "ATA".parse().unwrap();
+        let table = SeedTable::build(&t, &p, usize::MAX);
+        let qword = p.extract(q.as_slice(), 0).unwrap();
+        assert_eq!(table.lookup(qword), &[0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Hardware model walk-through: platforms, throughputs and the Table V
+//! roll-up for one measured workload.
+//!
+//! Runs a small Darwin-WGA alignment in software to obtain a real
+//! workload (seeds, filter tiles, extension cells), then asks the `hwsim`
+//! models what the FPGA and ASIC of the paper would do with it, printing
+//! runtimes, performance/$, performance/W, and the ASIC area/power
+//! breakdown of Table IV.
+//!
+//! Run with: `cargo run --release --example hardware_roofline`
+
+use darwin_wga::core::{config::WgaParams, pipeline::WgaPipeline};
+use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
+use darwin_wga::hwsim::area::AsicProvisioning;
+use darwin_wga::hwsim::perf::{
+    accelerated_runtime, perf_per_dollar_improvement, perf_per_watt_improvement,
+    software_runtime, SoftwareThroughput,
+};
+use darwin_wga::hwsim::platform::{AcceleratorConfig, CpuConfig};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // --- Measure a real workload in software ---------------------------
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let pair = SyntheticPair::generate(80_000, &EvolutionParams::at_distance(0.3), &mut rng);
+    println!("Measuring the software pipeline on an 80-kbp pair...");
+    let t0 = Instant::now();
+    let report = WgaPipeline::new(WgaParams::darwin_wga())
+        .run(&pair.target.sequence, &pair.query.sequence);
+    let wall = t0.elapsed();
+    let w = report.workload;
+    println!(
+        "  workload: {} seeds, {} filter tiles, {} extension tiles ({} cells)",
+        w.seeds, w.filter_tiles, w.extension_tiles, w.extension_cells
+    );
+    println!("  software wall time: {wall:?}\n");
+
+    // Software throughputs measured from this run.
+    let sw = SoftwareThroughput {
+        seeds_per_second: w.seeds as f64 / report.timings.seeding.as_secs_f64().max(1e-9),
+        filter_tiles_per_second: w.filter_tiles as f64
+            / report.timings.filtering.as_secs_f64().max(1e-9),
+        ungapped_filters_per_second: 0.0,
+        extension_tiles_per_second: w.extension_tiles as f64
+            / report.timings.extension.as_secs_f64().max(1e-9),
+    };
+    println!("Measured software throughputs (this machine, single thread):");
+    println!("  filter: {:.0} tiles/s (the Parasail role)", sw.filter_tiles_per_second);
+    println!("  extension: {:.0} tiles/s\n", sw.extension_tiles_per_second);
+
+    // --- Platform throughputs -------------------------------------------
+    let fpga = AcceleratorConfig::fpga();
+    let asic = AcceleratorConfig::asic();
+    println!("Accelerator filter throughput (memory-capped):");
+    println!("  FPGA (50 × 32-PE arrays @150 MHz): {:.2}M tiles/s", fpga.filter_tiles_per_second() / 1e6);
+    println!("  ASIC (64 × 64-PE arrays @1 GHz):   {:.1}M tiles/s", asic.filter_tiles_per_second() / 1e6);
+    println!("  (paper: 6.25M and 70M respectively)\n");
+
+    // --- Table V roll-up --------------------------------------------------
+    let cpu = CpuConfig::c4_8xlarge();
+    let sw_rt = software_runtime(&w, &sw);
+    let fpga_rt = accelerated_runtime(&w, &sw, &fpga);
+    let asic_rt = accelerated_runtime(&w, &sw, &asic);
+    println!("Runtime roll-up for this workload:");
+    println!("  iso-sensitive software: {:8.3} s", sw_rt.total_s());
+    println!("  Darwin-WGA FPGA:        {:8.3} s", fpga_rt.total_s());
+    println!("  Darwin-WGA ASIC:        {:8.3} s", asic_rt.total_s());
+    println!(
+        "  FPGA perf/$ improvement: {:.1}x   ASIC perf/W improvement: {:.0}x\n",
+        perf_per_dollar_improvement(sw_rt.total_s(), &cpu, fpga_rt.total_s(), &fpga),
+        perf_per_watt_improvement(sw_rt.total_s(), &cpu, asic_rt.total_s(), &asic),
+    );
+
+    // --- Table IV ---------------------------------------------------------
+    println!("ASIC breakdown (Table IV, TSMC 40 nm @1 GHz):");
+    println!("  {:<16} {:<28} {:>10} {:>9}", "Component", "Configuration", "Area(mm2)", "Power(W)");
+    let prov = AsicProvisioning::darwin_wga();
+    for row in prov.breakdown() {
+        println!(
+            "  {:<16} {:<28} {:>10.2} {:>9.2}",
+            row.component, row.configuration, row.area_mm2, row.power_w
+        );
+    }
+    println!(
+        "  {:<16} {:<28} {:>10.2} {:>9.2}",
+        "Total", "", prov.total_area_mm2(), prov.total_power_w()
+    );
+}

@@ -1,0 +1,341 @@
+//! `wga` — command-line whole-genome aligner.
+//!
+//! ```text
+//! wga generate <prefix> [--len N] [--distance D] [--seed S] [--chroms C]
+//!     Write a synthetic species pair to <prefix>.target.fa /
+//!     <prefix>.query.fa plus <prefix>.exons.tsv with the ground-truth
+//!     conserved elements.
+//!
+//! wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
+//!     Align query to target with Darwin-WGA (or the LASTZ-like baseline
+//!     with --baseline); print a run summary and the top chains; write
+//!     MAF if requested.
+//!
+//! wga exons <alignments.maf> <exons.tsv> [--coverage F]
+//!     Score exon recovery: which intervals from a `wga generate`
+//!     exons.tsv are covered (≥ F, default 0.5) by the MAF's alignments.
+//! ```
+
+use darwin_wga::chain::chainer::chain_alignments;
+use darwin_wga::chain::metrics;
+use darwin_wga::core::genome_pipeline::align_assemblies;
+use darwin_wga::core::{config::WgaParams, maf};
+use darwin_wga::genome::assembly::Assembly;
+use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
+use darwin_wga::genome::{fasta, Sequence};
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("align") => cmd_align(&args[1..]),
+        Some("exons") => cmd_exons(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  wga generate <prefix> [--len N] [--distance D] [--seed S]
+  wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
+  wga exons <alignments.maf> <exons.tsv> [--coverage F]
+";
+
+/// Pulls `--flag value` out of an argument list.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_opt<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match take_opt(args, flag)? {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {flag}: {v}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let len: usize = parse_opt(&mut args, "--len", 100_000)?;
+    let distance: f64 = parse_opt(&mut args, "--distance", 0.3)?;
+    let seed: u64 = parse_opt(&mut args, "--seed", 42)?;
+    let chroms: usize = parse_opt(&mut args, "--chroms", 1)?;
+    let prefix = args
+        .first()
+        .ok_or_else(|| format!("generate needs an output prefix\n{USAGE}"))?;
+    if chroms == 0 {
+        return Err("--chroms must be at least 1".into());
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut target_records = Vec::new();
+    let mut query_records = Vec::new();
+    let mut exons = String::from("#chrom\tlabel\tstart\tend\n");
+    let (mut t_total, mut q_total, mut exon_total) = (0usize, 0usize, 0usize);
+    for c in 0..chroms {
+        let pair = SyntheticPair::generate(
+            len / chroms,
+            &EvolutionParams::at_distance(distance),
+            &mut rng,
+        );
+        let make = |name: String, seq: &Sequence| fasta::Record {
+            description: format!("{name} synthetic len={} distance={distance}", seq.len()),
+            name,
+            sequence: seq.clone(),
+        };
+        target_records.push(make(format!("chr{}", c + 1), &pair.target.sequence));
+        query_records.push(make(format!("chr{}", c + 1), &pair.query.sequence));
+        for iv in &pair.target.conserved {
+            exons.push_str(&format!(
+                "chr{}\t{}\t{}\t{}\n",
+                c + 1,
+                iv.label,
+                iv.start,
+                iv.end
+            ));
+            exon_total += 1;
+        }
+        t_total += pair.target.sequence.len();
+        q_total += pair.query.sequence.len();
+    }
+
+    let write_fa = |path: &str, records: &[fasta::Record]| -> Result<(), String> {
+        let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        fasta::write(BufWriter::new(file), records).map_err(|e| format!("{path}: {e}"))
+    };
+    write_fa(&format!("{prefix}.target.fa"), &target_records)?;
+    write_fa(&format!("{prefix}.query.fa"), &query_records)?;
+    let exon_path = format!("{prefix}.exons.tsv");
+    std::fs::write(&exon_path, exons).map_err(|e| format!("{exon_path}: {e}"))?;
+
+    println!(
+        "wrote {prefix}.target.fa ({t_total} bp), {prefix}.query.fa ({q_total} bp), {exon_total} exons across {chroms} chromosome(s)"
+    );
+    Ok(())
+}
+
+fn read_assembly(path: &str) -> Result<Assembly, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let assembly =
+        Assembly::from_fasta(name, BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    if assembly.is_empty() {
+        return Err(format!("{path}: no records"));
+    }
+    Ok(assembly)
+}
+
+fn cmd_exons(args: &[String]) -> Result<(), String> {
+    use darwin_wga::chain::chainer::Chain;
+    use darwin_wga::chain::metrics::exon_recovery;
+    use darwin_wga::genome::annotation::Interval;
+
+    let mut args = args.to_vec();
+    let coverage: f64 = parse_opt(&mut args, "--coverage", 0.5)?;
+    if args.len() != 2 {
+        return Err(format!("exons needs <alignments.maf> <exons.tsv>\n{USAGE}"));
+    }
+    let maf_file = File::open(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
+    let blocks =
+        maf::read_maf(BufReader::new(maf_file)).map_err(|e| format!("{}: {e}", args[0]))?;
+
+    // Group alignments per target chromosome.
+    use std::collections::HashMap;
+    let mut per_chrom: HashMap<String, Vec<darwin_wga::align::Alignment>> = HashMap::new();
+    for b in blocks {
+        per_chrom.entry(b.target.name.clone()).or_default().push(b.alignment);
+    }
+
+    // Parse the exon table: chrom \t label \t start \t end (or the
+    // single-chromosome 3-column form: label \t start \t end).
+    let text = std::fs::read_to_string(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
+    let mut exons_per_chrom: HashMap<String, Vec<Interval>> = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let (chrom, label, start, end) = match fields.len() {
+            4 => (fields[0].to_string(), fields[1], fields[2], fields[3]),
+            3 => ("chr1".to_string(), fields[0], fields[1], fields[2]),
+            _ => return Err(format!("{}: bad line: {line}", args[1])),
+        };
+        let start: usize = start.parse().map_err(|_| format!("bad start in: {line}"))?;
+        let end: usize = end.parse().map_err(|_| format!("bad end in: {line}"))?;
+        exons_per_chrom
+            .entry(chrom)
+            .or_default()
+            .push(Interval::new(start, end, label));
+    }
+
+    let (mut found, mut total) = (0usize, 0usize);
+    let mut chroms: Vec<&String> = exons_per_chrom.keys().collect();
+    chroms.sort();
+    for chrom in chroms {
+        let exons = &exons_per_chrom[chrom];
+        let empty = Vec::new();
+        let alignments = per_chrom.get(chrom).unwrap_or(&empty);
+        // Treat each alignment as its own chain for coverage purposes.
+        let chains: Vec<Chain> = (0..alignments.len())
+            .map(|i| Chain { members: vec![i], score: alignments[i].score })
+            .collect();
+        let r = exon_recovery(&chains, alignments, exons, coverage);
+        println!(
+            "{chrom}: {}/{} exons covered at >= {:.0}%",
+            r.found,
+            r.total,
+            coverage * 100.0
+        );
+        found += r.found;
+        total += r.total;
+    }
+    println!(
+        "total: {found}/{total} ({:.1}%)",
+        found as f64 / total.max(1) as f64 * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_align(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let baseline = take_flag(&mut args, "--baseline");
+    let threads: usize = parse_opt(&mut args, "--threads", 1)?;
+    let maf_path = take_opt(&mut args, "--maf")?;
+    if args.len() != 2 {
+        return Err(format!("align needs <target.fa> <query.fa>\n{USAGE}"));
+    }
+    let _ = threads; // chromosome pairs run serially; kept for CLI compat
+    let target = read_assembly(&args[0])?;
+    let query = read_assembly(&args[1])?;
+
+    let params = if baseline {
+        WgaParams::lastz_baseline()
+    } else {
+        WgaParams::darwin_wga()
+    };
+    eprintln!(
+        "aligning {} ({} chromosomes, {} bp) vs {} ({} chromosomes, {} bp) with {}...",
+        target.name,
+        target.len(),
+        target.total_bases(),
+        query.name,
+        query.len(),
+        query.total_bases(),
+        if baseline { "LASTZ-like baseline" } else { "Darwin-WGA" },
+    );
+
+    let start = std::time::Instant::now();
+    let report = align_assemblies(&params, &target, &query);
+    let wall = start.elapsed();
+
+    println!("== run summary");
+    println!("wall time:          {wall:?}");
+    println!("seeds queried:      {}", report.workload.seeds);
+    println!("filter tiles:       {}", report.workload.filter_tiles);
+    println!("alignments:         {}", report.alignments.len());
+    println!("matched base pairs: {}", report.total_matches());
+
+    // Per chromosome pair: chain and summarise.
+    for tchrom in target.chromosomes() {
+        for qchrom in query.chromosomes() {
+            let alignments: Vec<_> = report
+                .for_pair(&tchrom.name, &qchrom.name)
+                .iter()
+                .map(|la| la.aligned.alignment.clone())
+                .collect();
+            if alignments.is_empty() {
+                continue;
+            }
+            let chains = chain_alignments(&alignments, 3000);
+            println!(
+                "== {} vs {}: {} alignments, {} chains, {} unique matched bp",
+                tchrom.name,
+                qchrom.name,
+                alignments.len(),
+                chains.len(),
+                metrics::unique_matched_bases(&chains, &alignments)
+            );
+            for (i, chain) in chains.iter().take(5).enumerate() {
+                let (t0, t1) = chain.target_span(&alignments);
+                println!(
+                    "   chain {:>2}: score {:>10}  members {:>3}  {}:{}..{}",
+                    i + 1,
+                    chain.score,
+                    chain.len(),
+                    tchrom.name,
+                    t0,
+                    t1
+                );
+            }
+        }
+    }
+
+    if let Some(path) = maf_path {
+        use std::io::Write as _;
+        let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+        let mut out = BufWriter::new(file);
+        writeln!(out, "##maf version=1 scoring=darwin-wga").map_err(|e| format!("{path}: {e}"))?;
+        for tchrom in target.chromosomes() {
+            for qchrom in query.chromosomes() {
+                let aligned: Vec<_> = report
+                    .for_pair(&tchrom.name, &qchrom.name)
+                    .iter()
+                    .map(|la| la.aligned.clone())
+                    .collect();
+                if aligned.is_empty() {
+                    continue;
+                }
+                maf::write_maf_blocks(
+                    &mut out,
+                    &tchrom.name,
+                    &tchrom.sequence,
+                    &qchrom.name,
+                    &qchrom.sequence,
+                    &aligned,
+                )
+                .map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+        println!("MAF written to {path}");
+    }
+    Ok(())
+}

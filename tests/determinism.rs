@@ -1,0 +1,43 @@
+//! Determinism and parallel-equivalence integration tests.
+
+use darwin_wga::core::{config::WgaParams, parallel::run_parallel, pipeline::WgaPipeline};
+use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
+use rand::SeedableRng;
+
+fn pair(seed: u64) -> SyntheticPair {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    SyntheticPair::generate(30_000, &EvolutionParams::at_distance(0.25), &mut rng)
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let pair = pair(5);
+    let a = WgaPipeline::new(WgaParams::darwin_wga())
+        .run(&pair.target.sequence, &pair.query.sequence);
+    let b = WgaPipeline::new(WgaParams::darwin_wga())
+        .run(&pair.target.sequence, &pair.query.sequence);
+    assert_eq!(a.alignments, b.alignments);
+    assert_eq!(a.workload, b.workload);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn parallel_filtering_matches_serial_exactly() {
+    let pair = pair(6);
+    let params = WgaParams::darwin_wga();
+    let serial = WgaPipeline::new(params.clone()).run(&pair.target.sequence, &pair.query.sequence);
+    for threads in [2usize, 3, 8] {
+        let par = run_parallel(&params, &pair.target.sequence, &pair.query.sequence, threads);
+        assert_eq!(serial.alignments, par.alignments, "threads={threads}");
+        assert_eq!(serial.workload, par.workload);
+    }
+}
+
+#[test]
+fn generation_is_seed_stable_across_calls() {
+    let a = pair(7);
+    let b = pair(7);
+    assert_eq!(a.target.sequence, b.target.sequence);
+    assert_eq!(a.query.sequence, b.query.sequence);
+    assert_eq!(a.ancestral_conserved, b.ancestral_conserved);
+}

@@ -1,0 +1,130 @@
+//! Edge-case and failure-injection integration tests: degenerate inputs
+//! must produce sane (empty or small) results, never panics.
+
+use darwin_wga::core::{config::WgaParams, pipeline::WgaPipeline};
+use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
+use darwin_wga::genome::{Base, Sequence};
+use rand::SeedableRng;
+
+fn run(target: &Sequence, query: &Sequence) -> darwin_wga::core::WgaReport {
+    WgaPipeline::new(WgaParams::darwin_wga()).run(target, query)
+}
+
+#[test]
+fn empty_and_tiny_sequences() {
+    let empty = Sequence::new();
+    let tiny: Sequence = "ACGT".parse().unwrap();
+    let normal: Sequence = "ACGTACGTACGTACGTACGTACGT".parse().unwrap();
+    for (t, q) in [
+        (&empty, &empty),
+        (&empty, &normal),
+        (&normal, &empty),
+        (&tiny, &tiny),
+        (&tiny, &normal),
+    ] {
+        let report = run(t, q);
+        assert!(report.alignments.is_empty());
+    }
+}
+
+#[test]
+fn all_n_sequences_never_align() {
+    let ns: Sequence = (0..5000).map(|_| Base::N).collect();
+    let report = run(&ns, &ns);
+    assert_eq!(report.counters.raw_seed_hits, 0);
+    assert!(report.alignments.is_empty());
+}
+
+#[test]
+fn identical_sequences_align_fully() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let s = darwin_wga::genome::markov::MarkovModel::genome_like().generate(20_000, &mut rng);
+    let report = run(&s, &s);
+    // One (or a few) alignments covering essentially everything.
+    assert!(report.total_matches() as f64 > 0.99 * s.len() as f64);
+}
+
+#[test]
+fn zero_distance_pair_is_identical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let pair = SyntheticPair::generate(5_000, &EvolutionParams::at_distance(0.0), &mut rng);
+    assert_eq!(pair.target.sequence, pair.query.sequence);
+    assert_eq!(
+        pair.orthologous_pairs().len(),
+        pair.target.sequence.len()
+    );
+}
+
+#[test]
+fn extreme_evolution_parameters_do_not_panic() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for params in [
+        EvolutionParams {
+            conserved_fraction: 0.0,
+            ..EvolutionParams::at_distance(0.5)
+        },
+        EvolutionParams {
+            conserved_fraction: 0.9,
+            conserved_mean_len: 50,
+            ..EvolutionParams::at_distance(0.5)
+        },
+        EvolutionParams {
+            indels_per_substitution: 0.0,
+            turnover_per_kb: 0.0,
+            duplications_per_mbp: 0.0,
+            ..EvolutionParams::at_distance(0.3)
+        },
+        EvolutionParams {
+            distance: 2.5, // saturated
+            ..EvolutionParams::default()
+        },
+    ] {
+        let pair = SyntheticPair::generate(4_000, &params, &mut rng);
+        assert!(pair.target.sequence.len() > 1_000);
+        let _ = run(&pair.target.sequence, &pair.query.sequence);
+    }
+}
+
+#[test]
+fn asymmetric_lengths() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let model = darwin_wga::genome::markov::MarkovModel::genome_like();
+    let long = model.generate(30_000, &mut rng);
+    let short = long.subsequence(12_000..13_000);
+    // Query is a tiny window of the target: must be found, once.
+    let report = run(&long, &short);
+    assert!(!report.alignments.is_empty());
+    let best = &report.alignments[0].alignment;
+    assert!(best.matches() >= 990, "{}", best.matches());
+    assert!((11_900..12_100).contains(&best.target_start));
+}
+
+#[test]
+fn n_runs_inside_sequences_are_handled() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let model = darwin_wga::genome::markov::MarkovModel::genome_like();
+    let left = model.generate(5_000, &mut rng);
+    let right = model.generate(5_000, &mut rng);
+    let mut t = left.clone();
+    t.extend((0..500).map(|_| Base::N));
+    t.extend(right.iter());
+    let mut q = left;
+    q.extend((0..480).map(|_| Base::N));
+    q.extend(right.iter());
+    let report = run(&t, &q);
+    // Both flanks align; no alignment may claim matched Ns.
+    assert!(report.total_matches() >= 9_800);
+    for wa in &report.alignments {
+        wa.alignment.validate(&t, &q).unwrap();
+    }
+}
+
+#[test]
+fn maf_of_empty_report_is_just_a_header() {
+    let t: Sequence = "ACGT".parse().unwrap();
+    let mut out = Vec::new();
+    darwin_wga::core::maf::write_maf(&mut out, "t", &t, "q", &t, &[]).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(text.lines().count(), 1);
+    assert!(darwin_wga::core::maf::read_maf(text.as_bytes()).unwrap().is_empty());
+}

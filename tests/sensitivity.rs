@@ -1,0 +1,100 @@
+//! Cross-crate integration: the paper's headline sensitivity claims.
+
+use darwin_wga::chain::chainer::chain_alignments;
+use darwin_wga::chain::metrics;
+use darwin_wga::core::{config::WgaParams, pipeline::WgaPipeline};
+use darwin_wga::genome::evolve::{EvolutionParams, SpeciesPair, SyntheticPair};
+use rand::SeedableRng;
+
+fn measure(params: WgaParams, pair: &SyntheticPair) -> (u64, i64) {
+    let report = WgaPipeline::new(params).run(&pair.target.sequence, &pair.query.sequence);
+    let alignments = report.forward_alignments();
+    let chains = chain_alignments(&alignments, 3000);
+    (
+        metrics::unique_matched_bases(&chains, &alignments),
+        metrics::top_k_total(&chains, 10),
+    )
+}
+
+#[test]
+fn gapped_filtering_beats_ungapped_on_distant_pair() {
+    // The ce11-cb4 regime: most conserved islands have no gap-free run
+    // long enough for the ungapped filter.
+    let sp = &SpeciesPair::paper_pairs()[0];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let pair = SyntheticPair::generate(60_000, &sp.evolution_params(), &mut rng);
+
+    let (lastz_bp, lastz_top10) = measure(WgaParams::lastz_baseline(), &pair);
+    let (darwin_bp, darwin_top10) = measure(WgaParams::darwin_wga(), &pair);
+
+    assert!(
+        darwin_bp as f64 > 1.3 * lastz_bp as f64,
+        "darwin {darwin_bp} vs lastz {lastz_bp}"
+    );
+    assert!(
+        darwin_top10 > lastz_top10,
+        "top10 darwin {darwin_top10} vs lastz {lastz_top10}"
+    );
+}
+
+#[test]
+fn improvement_grows_with_phylogenetic_distance() {
+    // Table III's central trend, on three distances with a fixed seed.
+    let mut ratios = Vec::new();
+    for (i, distance) in [0.25f64, 0.6, 1.0].into_iter().enumerate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40 + i as u64);
+        let pair =
+            SyntheticPair::generate(50_000, &EvolutionParams::at_distance(distance), &mut rng);
+        let (lastz_bp, _) = measure(WgaParams::lastz_baseline(), &pair);
+        let (darwin_bp, _) = measure(WgaParams::darwin_wga(), &pair);
+        ratios.push(darwin_bp as f64 / lastz_bp.max(1) as f64);
+    }
+    assert!(
+        ratios[2] > ratios[0],
+        "ratio at 1.0 ({}) should beat ratio at 0.25 ({})",
+        ratios[2],
+        ratios[0]
+    );
+    assert!(ratios[2] > 1.25, "distant ratio {}", ratios[2]);
+}
+
+#[test]
+fn exon_recovery_favours_gapped_filtering_at_distance() {
+    let sp = &SpeciesPair::paper_pairs()[1]; // dm6-dp4
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let pair = SyntheticPair::generate(60_000, &sp.evolution_params(), &mut rng);
+
+    let count = |params: WgaParams| {
+        let report = WgaPipeline::new(params).run(&pair.target.sequence, &pair.query.sequence);
+        let alignments = report.forward_alignments();
+        let chains = chain_alignments(&alignments, 3000);
+        metrics::exon_recovery(&chains, &alignments, &pair.target.conserved, 0.5).found
+    };
+    let lastz = count(WgaParams::lastz_baseline());
+    let darwin = count(WgaParams::darwin_wga());
+    assert!(darwin >= lastz, "darwin {darwin} vs lastz {lastz}");
+    assert!(darwin > 0);
+}
+
+#[test]
+fn transition_seeds_increase_sensitivity() {
+    // §III-B: allowing one transition per seed costs (m+1)× lookups but
+    // finds more alignments at distance.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let pair = SyntheticPair::generate(40_000, &EvolutionParams::at_distance(0.8), &mut rng);
+
+    let mut no_tr = WgaParams::darwin_wga();
+    no_tr.dsoft.transitions = false;
+    let with_tr = WgaParams::darwin_wga();
+
+    let report_no = WgaPipeline::new(no_tr).run(&pair.target.sequence, &pair.query.sequence);
+    let report_with = WgaPipeline::new(with_tr).run(&pair.target.sequence, &pair.query.sequence);
+
+    assert!(report_with.workload.seeds > 10 * report_no.workload.seeds);
+    assert!(
+        report_with.total_matches() >= report_no.total_matches(),
+        "with {} vs without {}",
+        report_with.total_matches(),
+        report_no.total_matches()
+    );
+}
