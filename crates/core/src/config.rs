@@ -1,9 +1,55 @@
-//! Pipeline configuration (Table II).
+//! Pipeline configuration (Table II) and per-run resource budgets.
 
+use crate::error::{WgaError, WgaResult};
 use align::gactx::TilingParams;
 use genome::{GapPenalties, SubstitutionMatrix};
 use seed::{DsoftParams, SeedPattern};
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Resource budgets for one chromosome-pair run.
+///
+/// The paper's workloads are 100–137 Mbp genome pairs where filtering
+/// dominates runtime (§III-A); a single repeat-dense chromosome can blow
+/// up seed hits and filter tiles by orders of magnitude. Budgets bound
+/// each stage's work: when a budget trips, the stage truncates
+/// *deterministically* (work is processed best-first where a score
+/// exists, in stable positional order otherwise), a
+/// [`crate::report::RunEvent::BudgetExceeded`] event is recorded, and
+/// the run continues instead of OOMing or hanging.
+///
+/// All limits default to `None` (unbounded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Maximum seed hits handed to the filter per query strand.
+    pub max_seed_hits: Option<u64>,
+    /// Maximum filter tiles per chromosome-pair run (both strands).
+    pub max_filter_tiles: Option<u64>,
+    /// Maximum extension DP cells per chromosome-pair run. Checked
+    /// before each anchor extension, so the cap may be overshot by at
+    /// most one extension's cells.
+    pub max_extension_cells: Option<u64>,
+    /// Wall-clock deadline per chromosome-pair run, measured from
+    /// pipeline start (shared seed-table construction, amortised across
+    /// pairs, is excluded). Inherently non-deterministic: use the cell /
+    /// tile budgets when reproducibility matters.
+    pub deadline: Option<Duration>,
+}
+
+impl ResourceBudget {
+    /// An unbounded budget (the default).
+    pub fn unbounded() -> ResourceBudget {
+        ResourceBudget::default()
+    }
+
+    /// Whether the per-pair deadline has passed, measured from `start`.
+    pub fn deadline_exceeded(&self, start: Instant) -> bool {
+        match self.deadline {
+            Some(deadline) => start.elapsed() > deadline,
+            None => false,
+        }
+    }
+}
 
 /// Gapped (BSW) filter parameters — Darwin-WGA's filtering stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,6 +152,9 @@ pub struct WgaParams {
     pub extension_threshold: i64,
     /// Also search the reverse-complement strand of the query.
     pub both_strands: bool,
+    /// Per-run resource budgets (unbounded by default).
+    #[serde(default)]
+    pub budget: ResourceBudget,
 }
 
 impl WgaParams {
@@ -137,6 +186,7 @@ impl WgaParams {
             extension: ExtensionStage::GactX(TilingParams::gactx_default()),
             extension_threshold: 4000,
             both_strands: false,
+            budget: ResourceBudget::default(),
         }
     }
 
@@ -175,6 +225,101 @@ impl WgaParams {
         }
         self
     }
+
+    /// Sets the resource budget, preserving everything else.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> WgaParams {
+        self.budget = budget;
+        self
+    }
+
+    /// Rejects degenerate configurations with a typed error.
+    ///
+    /// Called by [`crate::pipeline::WgaPipeline::try_new`], the assembly
+    /// driver and the CLI, so library code never has to panic on a bad
+    /// config deep inside a stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WgaError::Config`] naming the first degenerate field.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wga_core::config::WgaParams;
+    ///
+    /// assert!(WgaParams::darwin_wga().validate().is_ok());
+    /// let mut p = WgaParams::darwin_wga();
+    /// p.extension_threshold = -1;
+    /// assert!(p.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> WgaResult<()> {
+        if self.seed_pattern.weight() == 0 {
+            return Err(WgaError::config("seed pattern weight must be positive"));
+        }
+        if self.max_seed_occurrences == 0 {
+            return Err(WgaError::config("max_seed_occurrences must be positive"));
+        }
+        if self.dsoft.chunk_size == 0 {
+            return Err(WgaError::config("D-SOFT chunk size must be positive"));
+        }
+        if self.dsoft.bin_size == 0 {
+            return Err(WgaError::config("D-SOFT bin size must be positive"));
+        }
+        if self.dsoft.threshold == 0 {
+            return Err(WgaError::config("D-SOFT threshold must be positive"));
+        }
+        if self.dsoft.query_stride == 0 {
+            return Err(WgaError::config("D-SOFT query stride must be positive"));
+        }
+        match self.filter {
+            FilterStage::Gapped(f) => {
+                if f.band == 0 {
+                    return Err(WgaError::config("filter band width must be positive"));
+                }
+                if f.tile_size == 0 {
+                    return Err(WgaError::config("filter tile size must be positive"));
+                }
+            }
+            FilterStage::Ungapped(f) => {
+                if f.xdrop < 0 {
+                    return Err(WgaError::config("filter X-drop must be non-negative"));
+                }
+            }
+        }
+        match self.extension {
+            ExtensionStage::GactX(t) => {
+                if t.tile_size == 0 {
+                    return Err(WgaError::config("extension tile size must be positive"));
+                }
+                if t.overlap >= t.tile_size {
+                    return Err(WgaError::config(
+                        "extension overlap must be smaller than the tile size",
+                    ));
+                }
+                if t.y <= 0 {
+                    return Err(WgaError::config("extension X-drop Y must be positive"));
+                }
+            }
+            ExtensionStage::Gact { traceback_bytes } => {
+                if traceback_bytes == 0 {
+                    return Err(WgaError::config(
+                        "GACT traceback memory must be positive",
+                    ));
+                }
+            }
+            ExtensionStage::Ydrop { y } => {
+                if y <= 0 {
+                    return Err(WgaError::config("Y-drop threshold must be positive"));
+                }
+            }
+        }
+        if self.extension_threshold < 0 {
+            return Err(WgaError::config(
+                "extension_threshold must be non-negative (alignments are scored locally)",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for WgaParams {
@@ -209,6 +354,105 @@ mod tests {
         assert!(matches!(p.filter, FilterStage::Ungapped(_)));
         assert_eq!(p.filter.threshold(), 3000);
         assert_eq!(p.extension_threshold, 3000);
+    }
+
+    fn assert_rejected(params: WgaParams, needle: &str) {
+        let err = params.validate().expect_err("must reject");
+        let text = err.to_string();
+        assert!(text.contains(needle), "{text:?} lacks {needle:?}");
+    }
+
+    #[test]
+    fn validate_accepts_shipped_configs() {
+        for p in [
+            WgaParams::darwin_wga(),
+            WgaParams::lastz_baseline(),
+            WgaParams::lastz_ydrop(),
+        ] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_band() {
+        let mut p = WgaParams::darwin_wga();
+        p.filter = FilterStage::Gapped(GappedFilterParams {
+            band: 0,
+            ..GappedFilterParams::default()
+        });
+        assert_rejected(p, "band");
+    }
+
+    #[test]
+    fn validate_rejects_zero_filter_tile() {
+        let mut p = WgaParams::darwin_wga();
+        p.filter = FilterStage::Gapped(GappedFilterParams {
+            tile_size: 0,
+            ..GappedFilterParams::default()
+        });
+        assert_rejected(p, "tile size");
+    }
+
+    #[test]
+    fn validate_rejects_zero_seed_occurrences() {
+        let mut p = WgaParams::darwin_wga();
+        p.max_seed_occurrences = 0;
+        assert_rejected(p, "max_seed_occurrences");
+    }
+
+    #[test]
+    fn validate_rejects_negative_extension_threshold() {
+        let mut p = WgaParams::darwin_wga();
+        p.extension_threshold = -1;
+        assert_rejected(p, "extension_threshold");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_dsoft() {
+        for mutate in [
+            (|p: &mut WgaParams| p.dsoft.chunk_size = 0) as fn(&mut WgaParams),
+            |p| p.dsoft.bin_size = 0,
+            |p| p.dsoft.threshold = 0,
+            |p| p.dsoft.query_stride = 0,
+        ] {
+            let mut p = WgaParams::darwin_wga();
+            mutate(&mut p);
+            assert!(p.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_extension() {
+        let mut p = WgaParams::darwin_wga();
+        p.extension = ExtensionStage::GactX(align::gactx::TilingParams {
+            tile_size: 128,
+            overlap: 128,
+            y: 9430,
+            edge_traceback: false,
+        });
+        assert_rejected(p, "overlap");
+        let mut p = WgaParams::darwin_wga();
+        p.extension = ExtensionStage::Gact { traceback_bytes: 0 };
+        assert_rejected(p, "traceback");
+        let mut p = WgaParams::darwin_wga();
+        p.extension = ExtensionStage::Ydrop { y: 0 };
+        assert_rejected(p, "Y-drop");
+    }
+
+    #[test]
+    fn budget_defaults_unbounded_and_deadline_check() {
+        let b = ResourceBudget::unbounded();
+        assert_eq!(b, ResourceBudget::default());
+        assert!(!b.deadline_exceeded(Instant::now()));
+        let tight = ResourceBudget {
+            deadline: Some(Duration::from_nanos(1)),
+            ..ResourceBudget::default()
+        };
+        let start = Instant::now() - Duration::from_millis(5);
+        assert!(tight.deadline_exceeded(start));
+        let p = WgaParams::darwin_wga().with_budget(tight);
+        assert_eq!(p.budget.deadline, Some(Duration::from_nanos(1)));
+        p.validate().unwrap();
     }
 
     #[test]

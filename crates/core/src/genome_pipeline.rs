@@ -5,13 +5,25 @@
 //! results are chained together, §V-B). This driver does the same over
 //! [`genome::assembly::Assembly`] inputs, tagging each alignment with its
 //! chromosome pair.
+//!
+//! Assembly-scale runs take hours, so the driver is fault tolerant: a
+//! panic inside one chromosome pair is contained ([`RunOutcome::Failed`]
+//! for that pair, the rest of the run continues), and an optional
+//! checkpoint journal ([`AlignOptions::checkpoint`]) makes completed
+//! pairs durable so an interrupted run resumes where it left off with a
+//! byte-identical final report (see [`AssemblyReport::canonical_text`]).
 
 use crate::config::WgaParams;
-use crate::report::{StageTimings, WgaAlignment};
+use crate::error::{WgaError, WgaResult};
+use crate::journal::{params_fingerprint, Journal, PairRecord};
+use crate::report::{PairOutcome, RunOutcome, StageTimings, Strand, WgaAlignment, WgaReport};
 use genome::assembly::Assembly;
+use genome::Sequence;
 use hwsim::Workload;
 use seed::SeedTable;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// One alignment located on a chromosome pair.
@@ -25,6 +37,26 @@ pub struct LocatedAlignment {
     pub aligned: WgaAlignment,
 }
 
+/// Execution options for [`align_assemblies_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignOptions {
+    /// Worker threads for the filter stage of each pair (`1` = serial).
+    pub threads: usize,
+    /// Checkpoint journal path. When set, completed pairs are made
+    /// durable as they finish and a rerun with the same parameters skips
+    /// them (see [`crate::journal`]).
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for AlignOptions {
+    fn default() -> Self {
+        AlignOptions {
+            threads: 1,
+            checkpoint: None,
+        }
+    }
+}
+
 /// Assembly-level run output.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AssemblyReport {
@@ -34,6 +66,12 @@ pub struct AssemblyReport {
     pub workload: Workload,
     /// Aggregate stage timings.
     pub timings: StageTimings,
+    /// Per-pair outcomes, in canonical (target × query) order.
+    #[serde(default)]
+    pub pairs: Vec<PairOutcome>,
+    /// Pairs replayed from the checkpoint journal instead of recomputed.
+    #[serde(default)]
+    pub resumed_pairs: u64,
 }
 
 impl AssemblyReport {
@@ -52,12 +90,76 @@ impl AssemblyReport {
             .filter(|a| a.target_chrom == target_chrom && a.query_chrom == query_chrom)
             .collect()
     }
+
+    /// Pairs that ran with budget trips or failed worker batches.
+    pub fn degraded_pairs(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| matches!(p.outcome, RunOutcome::Degraded { .. }))
+            .count()
+    }
+
+    /// Pairs that produced no results because their worker panicked.
+    pub fn failed_pairs(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| matches!(p.outcome, RunOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// A deterministic rendering of everything except wall-clock timings,
+    /// for equivalence checks between runs (e.g. interrupted-and-resumed
+    /// vs uninterrupted). Two runs over the same inputs with the same
+    /// parameters and budgets produce identical text regardless of thread
+    /// count or how many pairs were replayed from a journal — timings and
+    /// [`AssemblyReport::resumed_pairs`] are the only fields excluded.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        for pair in &self.pairs {
+            let tag = match &pair.outcome {
+                RunOutcome::Completed => "completed".to_string(),
+                RunOutcome::Degraded { events } => format!("degraded({})", events.len()),
+                RunOutcome::Failed { .. } => "failed".to_string(),
+            };
+            out.push_str(&format!(
+                "pair\t{}\t{}\t{}\n",
+                pair.target_chrom, pair.query_chrom, tag
+            ));
+        }
+        for a in &self.alignments {
+            out.push_str(&format!(
+                "aln\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                a.target_chrom,
+                a.query_chrom,
+                match a.aligned.strand {
+                    Strand::Forward => '+',
+                    Strand::Reverse => '-',
+                },
+                a.aligned.alignment.target_start,
+                a.aligned.alignment.query_start,
+                a.aligned.alignment.score,
+                a.aligned.alignment.cigar
+            ));
+        }
+        let w = &self.workload;
+        out.push_str(&format!(
+            "workload\t{}\t{}\t{}\t{}\t{}\n",
+            w.seeds, w.filter_tiles, w.extension_tiles, w.extension_cells, w.extension_rows
+        ));
+        out
+    }
 }
 
 /// Aligns every query chromosome against every target chromosome.
 ///
 /// The seed table is built once per target chromosome and reused across
-/// query chromosomes, as a production aligner would.
+/// query chromosomes, as a production aligner would. Serial, no
+/// checkpointing; see [`align_assemblies_with`] for the full-featured
+/// entry point with typed errors.
+///
+/// # Panics
+///
+/// Panics when the parameters fail [`WgaParams::validate`].
 ///
 /// # Examples
 ///
@@ -80,35 +182,162 @@ pub fn align_assemblies(
     target: &Assembly,
     query: &Assembly,
 ) -> AssemblyReport {
+    align_assemblies_with(params, target, query, &AlignOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Aligns two assemblies with fault tolerance, parallelism and optional
+/// checkpoint/resume.
+///
+/// Per chromosome pair: the pipeline runs under panic isolation — a
+/// panicking pair is recorded as [`RunOutcome::Failed`] and the run
+/// continues with the next pair. With a checkpoint journal configured,
+/// every completed (or degraded) pair is fsync'd to the journal before
+/// the driver moves on, and a rerun pointing at the same journal replays
+/// those pairs instead of recomputing them; failed pairs are *not*
+/// journaled, so a rerun retries them.
+///
+/// # Errors
+///
+/// [`WgaError::Config`] when the parameters are degenerate or
+/// `options.threads` is zero; [`WgaError::Checkpoint`] /
+/// [`WgaError::Io`] when the journal is unusable.
+pub fn align_assemblies_with(
+    params: &WgaParams,
+    target: &Assembly,
+    query: &Assembly,
+    options: &AlignOptions,
+) -> WgaResult<AssemblyReport> {
+    params.validate()?;
+    if options.threads == 0 {
+        return Err(WgaError::config("threads must be at least 1"));
+    }
+    let mut journal = match &options.checkpoint {
+        Some(path) => Some(Journal::open(path, &params_fingerprint(params))?),
+        None => None,
+    };
+
     let mut out = AssemblyReport::default();
     for tchrom in target.chromosomes() {
-        let table_start = Instant::now();
-        let table = SeedTable::build(
-            &tchrom.sequence,
-            &params.seed_pattern,
-            params.max_seed_occurrences,
-        );
-        out.timings.seeding += table_start.elapsed();
+        // Built lazily so a fully-journaled target row skips the build.
+        let mut table: Option<SeedTable> = None;
+        let mut table_failed: Option<String> = None;
         for qchrom in query.chromosomes() {
-            let report = crate::pipeline::WgaPipeline::new(params.clone()).run_with_table(
-                &table,
-                &tchrom.sequence,
-                &qchrom.sequence,
-            );
-            out.workload.merge(&report.workload);
-            out.timings.merge(&report.timings);
-            for aligned in report.alignments {
-                out.alignments.push(LocatedAlignment {
-                    target_chrom: tchrom.name.clone(),
-                    query_chrom: qchrom.name.clone(),
-                    aligned,
-                });
+            if let Some(journal) = journal.as_mut() {
+                if let Some(record) = journal.take(&tchrom.name, &qchrom.name) {
+                    out.resumed_pairs += 1;
+                    out.workload.merge(&record.workload);
+                    out.timings.merge(&record.timings);
+                    out.pairs.push(PairOutcome {
+                        target_chrom: tchrom.name.clone(),
+                        query_chrom: qchrom.name.clone(),
+                        outcome: record.outcome,
+                    });
+                    out.alignments
+                        .extend(record.alignments.into_iter().map(|aligned| {
+                            LocatedAlignment {
+                                target_chrom: tchrom.name.clone(),
+                                query_chrom: qchrom.name.clone(),
+                                aligned,
+                            }
+                        }));
+                    continue;
+                }
             }
+
+            if table.is_none() && table_failed.is_none() {
+                let table_start = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| {
+                    SeedTable::build(
+                        &tchrom.sequence,
+                        &params.seed_pattern,
+                        params.max_seed_occurrences,
+                    )
+                })) {
+                    Ok(built) => {
+                        table = Some(built);
+                        out.timings.seeding += table_start.elapsed();
+                    }
+                    Err(payload) => {
+                        table_failed = Some(crate::parallel::panic_message(payload.as_ref()));
+                    }
+                }
+            }
+
+            let outcome = if let Some(message) = &table_failed {
+                RunOutcome::Failed {
+                    error: format!("seed table build panicked: {message}"),
+                }
+            } else if let Some(table) = &table {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_pair(
+                        params,
+                        table,
+                        &tchrom.sequence,
+                        &qchrom.sequence,
+                        options.threads,
+                    )
+                })) {
+                    Ok(report) => {
+                        let outcome = report.outcome();
+                        if let Some(journal) = journal.as_mut() {
+                            journal.append(&PairRecord {
+                                target_chrom: tchrom.name.clone(),
+                                query_chrom: qchrom.name.clone(),
+                                outcome: outcome.clone(),
+                                workload: report.workload,
+                                timings: report.timings,
+                                alignments: report.alignments.clone(),
+                            })?;
+                        }
+                        out.workload.merge(&report.workload);
+                        out.timings.merge(&report.timings);
+                        out.alignments
+                            .extend(report.alignments.into_iter().map(|aligned| {
+                                LocatedAlignment {
+                                    target_chrom: tchrom.name.clone(),
+                                    query_chrom: qchrom.name.clone(),
+                                    aligned,
+                                }
+                            }));
+                        outcome
+                    }
+                    Err(payload) => RunOutcome::Failed {
+                        error: crate::parallel::panic_message(payload.as_ref()),
+                    },
+                }
+            } else {
+                // Unreachable: the build attempt always sets one of the
+                // two options above.
+                RunOutcome::Failed {
+                    error: "seed table unavailable".to_string(),
+                }
+            };
+            out.pairs.push(PairOutcome {
+                target_chrom: tchrom.name.clone(),
+                query_chrom: qchrom.name.clone(),
+                outcome,
+            });
         }
     }
     out.alignments
         .sort_by_key(|a| std::cmp::Reverse(a.aligned.alignment.score));
-    out
+    Ok(out)
+}
+
+/// Runs one chromosome pair serially or with a parallel filter stage.
+fn run_pair(
+    params: &WgaParams,
+    table: &SeedTable,
+    target: &Sequence,
+    query: &Sequence,
+    threads: usize,
+) -> WgaReport {
+    if threads > 1 {
+        crate::parallel::run_with_table_parallel(params, table, target, query, threads)
+    } else {
+        crate::pipeline::WgaPipeline::new(params.clone()).run_with_table(table, target, query)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +392,9 @@ mod tests {
             let q = &query.chromosome(&la.query_chrom).unwrap().sequence;
             la.aligned.alignment.validate(t, q).unwrap();
         }
+        assert_eq!(report.pairs.len(), 4);
+        assert_eq!(report.failed_pairs(), 0);
+        assert_eq!(report.resumed_pairs, 0);
     }
 
     #[test]
@@ -174,5 +406,76 @@ mod tests {
         );
         assert!(report.alignments.is_empty());
         assert_eq!(report.total_matches(), 0);
+        assert!(report.pairs.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_is_a_config_error() {
+        let (target, query) = two_chrom_assemblies();
+        let err = align_assemblies_with(
+            &WgaParams::darwin_wga(),
+            &target,
+            &query,
+            &AlignOptions {
+                threads: 0,
+                checkpoint: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, WgaError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn degenerate_params_are_a_config_error() {
+        let mut params = WgaParams::darwin_wga();
+        params.max_seed_occurrences = 0;
+        let err = align_assemblies_with(
+            &params,
+            &Assembly::new("a"),
+            &Assembly::new("b"),
+            &AlignOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WgaError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn parallel_assembly_matches_serial_canonically() {
+        let (target, query) = two_chrom_assemblies();
+        let params = WgaParams::darwin_wga();
+        let serial = align_assemblies(&params, &target, &query);
+        let parallel = align_assemblies_with(
+            &params,
+            &target,
+            &query,
+            &AlignOptions {
+                threads: 3,
+                checkpoint: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.canonical_text(), parallel.canonical_text());
+    }
+
+    #[test]
+    fn checkpointed_rerun_replays_all_pairs() {
+        let (target, query) = two_chrom_assemblies();
+        let params = WgaParams::darwin_wga();
+        let path = std::env::temp_dir().join(format!(
+            "wga-genome-pipeline-ckpt-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let opts = AlignOptions {
+            threads: 1,
+            checkpoint: Some(path.clone()),
+        };
+        let first = align_assemblies_with(&params, &target, &query, &opts).unwrap();
+        assert_eq!(first.resumed_pairs, 0);
+        let second = align_assemblies_with(&params, &target, &query, &opts).unwrap();
+        assert_eq!(second.resumed_pairs, 4);
+        assert_eq!(first.canonical_text(), second.canonical_text());
+        assert_eq!(first.workload, second.workload);
+        let _ = std::fs::remove_file(&path);
     }
 }

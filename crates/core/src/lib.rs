@@ -37,7 +37,9 @@
 
 pub mod absorb;
 pub mod config;
+pub mod error;
 pub mod genome_pipeline;
+pub mod journal;
 pub mod maf;
 pub mod parallel;
 pub mod pipeline;
@@ -45,5 +47,6 @@ pub mod report;
 pub mod stages;
 
 pub use config::WgaParams;
+pub use error::{WgaError, WgaResult};
 pub use pipeline::WgaPipeline;
-pub use report::{Strand, WgaAlignment, WgaReport};
+pub use report::{RunEvent, RunOutcome, Strand, WgaAlignment, WgaReport};

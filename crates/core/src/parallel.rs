@@ -1,4 +1,4 @@
-//! Multi-threaded pipeline driver.
+//! Multi-threaded pipeline driver with panic isolation.
 //!
 //! The paper uses all 36 threads of the baseline instance (§V-B) and
 //! D-SOFT itself is "implemented in software using multiple threads"
@@ -7,15 +7,26 @@
 //! threads. Seeding and extension (which needs the sequential anchor-
 //! absorption state) stay on one thread, so results are *identical* to
 //! [`WgaPipeline::run`] — only wall-clock time changes.
+//!
+//! # Fault tolerance
+//!
+//! A panic inside a filter worker no longer aborts the process: each
+//! batch runs under [`std::panic::catch_unwind`], a poisoned batch is
+//! retried once serially, and a batch that panics twice is reported as a
+//! [`RunEvent::BatchFailed`] in the run's event stream while every other
+//! batch's results are kept. Resource budgets
+//! ([`crate::config::ResourceBudget`]) are enforced with the same
+//! truncation rules as the serial pipeline, so budget-capped parallel
+//! runs stay deterministic.
 
-use crate::absorb::{merge_into_kept, AbsorptionGrid};
 use crate::config::WgaParams;
-use crate::pipeline::WgaPipeline;
-use crate::report::{Strand, WgaAlignment, WgaReport};
-use crate::stages::{run_extension, run_filter};
+use crate::pipeline::{clamp_hits, WgaPipeline};
+use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaReport};
+use crate::stages::{extend_anchors, run_filter};
 use genome::Sequence;
 use parking_lot::Mutex;
 use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Runs the pipeline with the filter stage spread over `threads` workers.
@@ -25,7 +36,8 @@ use std::time::Instant;
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads == 0` or the parameters are degenerate; use
+/// [`crate::genome_pipeline::align_assemblies_with`] for typed errors.
 pub fn run_parallel(
     params: &WgaParams,
     target: &Sequence,
@@ -39,13 +51,40 @@ pub fn run_parallel(
 
     let seed_start = Instant::now();
     let table = SeedTable::build(target, &params.seed_pattern, params.max_seed_occurrences);
-    let mut report = WgaReport::default();
+    let mut report = run_with_table_parallel(params, &table, target, query, threads);
     report.timings.seeding += seed_start.elapsed();
+    report
+}
 
-    run_strand_parallel(params, &table, target, query, Strand::Forward, threads, &mut report);
+/// Runs the parallel pipeline against a pre-built seed table of `target`
+/// (table construction amortises across many query chromosomes — the
+/// assembly driver uses this entry point).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the parameters are degenerate.
+pub fn run_with_table_parallel(
+    params: &WgaParams,
+    table: &SeedTable,
+    target: &Sequence,
+    query: &Sequence,
+    threads: usize,
+) -> WgaReport {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 {
+        return WgaPipeline::new(params.clone()).run_with_table(table, target, query);
+    }
+
+    let pair_start = Instant::now();
+    let mut report = WgaReport::default();
+    run_strand_parallel(
+        params, table, target, query, Strand::Forward, threads, pair_start, &mut report,
+    );
     if params.both_strands {
         let rc = query.reverse_complement();
-        run_strand_parallel(params, &table, target, &rc, Strand::Reverse, threads, &mut report);
+        run_strand_parallel(
+            params, table, target, &rc, Strand::Reverse, threads, pair_start, &mut report,
+        );
     }
 
     report
@@ -62,6 +101,7 @@ fn run_strand_parallel(
     query: &Sequence,
     strand: Strand,
     threads: usize,
+    pair_start: Instant,
     report: &mut WgaReport,
 ) {
     // --- Seeding (serial) -------------------------------------------------
@@ -73,70 +113,172 @@ fn run_strand_parallel(
 
     // --- Filtering (parallel over hits) ------------------------------------
     let filter_start = Instant::now();
-    let anchors = filter_hits_parallel(params, target, query, &seeding.hits, threads);
+    let hits = clamp_hits(params, &seeding.hits, report);
+    let filtered = filter_hits_parallel(params, target, query, hits, threads, pair_start);
     report.timings.filtering += filter_start.elapsed();
-    report.workload.filter_tiles += seeding.hits.len() as u64;
-    report.counters.hits_filtered += seeding.hits.len() as u64;
-    report.counters.anchors_passed += anchors.len() as u64;
+    report.workload.filter_tiles += filtered.tiles_executed;
+    report.counters.hits_filtered += filtered.tiles_executed;
+    report.counters.anchors_passed += filtered.anchors.len() as u64;
+    report.events.extend(filtered.events);
 
     // --- Extension (serial: absorption is stateful) -------------------------
-    let ext_start = Instant::now();
-    let mut anchors = anchors;
-    anchors.sort_by_key(|a| std::cmp::Reverse(a.filter_score));
-    let mut grid = AbsorptionGrid::new();
-    let mut kept: Vec<align::Alignment> = Vec::new();
-    for anchor in anchors {
-        if grid.covers(anchor.target_pos, anchor.query_pos) {
-            report.counters.anchors_absorbed += 1;
-            continue;
-        }
-        let Some(ext) = run_extension(params, target, query, anchor) else {
-            continue;
-        };
-        report.workload.extension_tiles += ext.stats.tiles;
-        report.workload.extension_cells += ext.stats.cells;
-        report.workload.extension_rows += ext.stats.rows;
-        if ext.alignment.score >= params.extension_threshold {
-            grid.insert_alignment(&ext.alignment);
-            if !merge_into_kept(&mut kept, ext.alignment) {
-                report.counters.anchors_absorbed += 1;
-            }
-        }
-    }
-    report.counters.alignments_kept += kept.len() as u64;
-    report
-        .alignments
-        .extend(kept.into_iter().map(|alignment| WgaAlignment { alignment, strand }));
-    report.timings.extension += ext_start.elapsed();
+    extend_anchors(params, target, query, strand, filtered.anchors, pair_start, report);
+}
+
+/// Outcome of the parallel filter dispatch.
+struct FilteredHits {
+    /// Anchors in hit order (deterministic).
+    anchors: Vec<Anchor>,
+    /// Filter tiles actually executed (batches that panicked twice
+    /// contribute none; deadline-stopped batches contribute their
+    /// completed prefix).
+    tiles_executed: u64,
+    /// Batch failures and deadline trips observed during filtering.
+    events: Vec<RunEvent>,
+}
+
+/// What one worker reports for its batch.
+enum BatchOutcome {
+    /// Anchors found plus the number of hits processed (less than the
+    /// batch size when the deadline stopped the worker early).
+    Done(Vec<Anchor>, usize),
+    /// The batch panicked; payload message.
+    Panicked(String),
 }
 
 /// Filters `hits` across `threads` workers; anchor order follows hit
-/// order, so the result is deterministic.
+/// order, so the result is deterministic. Worker panics are contained
+/// per batch: a panicked batch is retried once serially, and a second
+/// panic drops only that batch's hits, recorded as a
+/// [`RunEvent::BatchFailed`].
 fn filter_hits_parallel(
     params: &WgaParams,
     target: &Sequence,
     query: &Sequence,
     hits: &[SeedHit],
     threads: usize,
-) -> Vec<Anchor> {
-    let results: Mutex<Vec<(usize, Vec<Anchor>)>> = Mutex::new(Vec::new());
+    pair_start: Instant,
+) -> FilteredHits {
     let chunk = hits.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (idx, batch) in hits.chunks(chunk).enumerate() {
+    let batches: Vec<&[SeedHit]> = hits.chunks(chunk).collect();
+    let results: Mutex<Vec<(usize, BatchOutcome)>> = Mutex::new(Vec::with_capacity(batches.len()));
+
+    // Workers catch their own panics, so the scope result is Ok unless a
+    // worker died outside `catch_unwind` (e.g. its report push failed);
+    // such batches simply never report and are retried below.
+    let _ = crossbeam::thread::scope(|scope| {
+        for (idx, &batch) in batches.iter().enumerate() {
             let results = &results;
             scope.spawn(move |_| {
-                let anchors: Vec<Anchor> = batch
-                    .iter()
-                    .filter_map(|&hit| run_filter(params, target, query, hit).anchor)
-                    .collect();
-                results.lock().push((idx, anchors));
+                let outcome = run_batch(params, target, query, batch, pair_start);
+                results.lock().push((idx, outcome));
             });
         }
-    })
-    .expect("filter worker panicked");
-    let mut batches = results.into_inner();
-    batches.sort_unstable_by_key(|(idx, _)| *idx);
-    batches.into_iter().flat_map(|(_, a)| a).collect()
+    });
+
+    let mut reported: Vec<Option<BatchOutcome>> = Vec::new();
+    reported.resize_with(batches.len(), || None);
+    for (idx, outcome) in results.into_inner() {
+        reported[idx] = Some(outcome);
+    }
+
+    let mut out = FilteredHits {
+        anchors: Vec::new(),
+        tiles_executed: 0,
+        events: Vec::new(),
+    };
+    let mut deadline_hit = false;
+    for (idx, outcome) in reported.into_iter().enumerate() {
+        let batch = batches[idx];
+        // A batch that panicked (or never reported) gets one serial retry:
+        // transient poison (e.g. allocator pressure in a crowded worker)
+        // often clears, and a deterministic panic will simply fire again
+        // and be recorded.
+        let outcome = match outcome {
+            Some(BatchOutcome::Done(anchors, processed)) => BatchOutcome::Done(anchors, processed),
+            Some(BatchOutcome::Panicked(_)) | None => {
+                run_batch(params, target, query, batch, pair_start)
+            }
+        };
+        match outcome {
+            BatchOutcome::Done(anchors, processed) => {
+                out.anchors.extend(anchors);
+                out.tiles_executed += processed as u64;
+                if processed < batch.len() {
+                    deadline_hit = true;
+                }
+            }
+            BatchOutcome::Panicked(message) => {
+                out.events.push(RunEvent::BatchFailed {
+                    stage: StageKind::Filtering,
+                    batch: idx,
+                    items: batch.len() as u64,
+                    message,
+                });
+            }
+        }
+    }
+    if deadline_hit {
+        out.events.push(RunEvent::BudgetExceeded {
+            budget: BudgetKind::Deadline,
+            stage: StageKind::Filtering,
+            limit: params.budget.deadline.map_or(0, |d| d.as_millis() as u64),
+            observed: pair_start.elapsed().as_millis() as u64,
+        });
+    }
+    out
+}
+
+/// Filters one batch of hits under `catch_unwind`, stopping early if the
+/// pair deadline passes.
+fn run_batch(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    batch: &[SeedHit],
+    pair_start: Instant,
+) -> BatchOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut anchors = Vec::new();
+        let mut processed = 0usize;
+        for &hit in batch {
+            if params.budget.deadline_exceeded(pair_start) {
+                break;
+            }
+            #[cfg(test)]
+            poison_check(hit);
+            if let Some(anchor) = run_filter(params, target, query, hit).anchor {
+                anchors.push(anchor);
+            }
+            processed += 1;
+        }
+        (anchors, processed)
+    }));
+    match result {
+        Ok((anchors, processed)) => BatchOutcome::Done(anchors, processed),
+        Err(payload) => BatchOutcome::Panicked(panic_message(payload.as_ref())),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Test-only fault injection: a hit at `usize::MAX` (unreachable from
+/// real seeding, whose positions come from the seed table) panics inside
+/// the filter worker.
+#[cfg(test)]
+fn poison_check(hit: SeedHit) {
+    if hit.target_pos == usize::MAX {
+        panic!("poisoned filter hit");
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +303,26 @@ mod tests {
             serial.counters.anchors_passed,
             parallel.counters.anchors_passed
         );
+        assert!(parallel.events.is_empty());
+    }
+
+    #[test]
+    fn budget_capped_parallel_matches_serial() {
+        use crate::config::ResourceBudget;
+
+        let mut rng = StdRng::seed_from_u64(29);
+        let pair = SyntheticPair::generate(30_000, &EvolutionParams::at_distance(0.15), &mut rng);
+        let params = WgaParams::darwin_wga().with_budget(ResourceBudget {
+            max_filter_tiles: Some(30),
+            ..ResourceBudget::default()
+        });
+        let serial =
+            WgaPipeline::new(params.clone()).run(&pair.target.sequence, &pair.query.sequence);
+        let parallel = run_parallel(&params, &pair.target.sequence, &pair.query.sequence, 3);
+        assert_eq!(serial.total_matches(), parallel.total_matches());
+        assert_eq!(serial.workload.filter_tiles, parallel.workload.filter_tiles);
+        assert_eq!(serial.events, parallel.events);
+        assert!(serial.is_degraded());
     }
 
     #[test]
@@ -178,5 +340,43 @@ mod tests {
     fn zero_threads_rejected() {
         let s: Sequence = "ACGT".parse().unwrap();
         run_parallel(&WgaParams::darwin_wga(), &s, &s, 0);
+    }
+
+    #[test]
+    fn panicking_batch_is_isolated_not_fatal() {
+        // A poisoned hit panics its worker batch (and the serial retry).
+        // The run must complete, keep the good batches' anchors, and
+        // record exactly one failed batch.
+        let core = "ACGGTCAGTCGATTGCAGTCCATGGACTGATC".repeat(40); // 1280 bp
+        let t: Sequence = core.parse().unwrap();
+        let q: Sequence = core.parse().unwrap();
+        let params = WgaParams::darwin_wga();
+
+        // Hits every 320 bp plus one poisoned hit at the end; 4 threads →
+        // the poison lands in the last batch.
+        let mut hits: Vec<SeedHit> = (0..4).map(|i| SeedHit::new(i * 320, i * 320)).collect();
+        hits.push(SeedHit::new(usize::MAX, 0));
+
+        let clean = filter_hits_parallel(&params, &t, &q, &hits[..4], 4, Instant::now());
+        assert!(clean.events.is_empty());
+        assert!(!clean.anchors.is_empty());
+
+        let poisoned = filter_hits_parallel(&params, &t, &q, &hits, 5, Instant::now());
+        let failures: Vec<_> = poisoned
+            .events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::BatchFailed { .. }))
+            .collect();
+        assert_eq!(failures.len(), 1, "{:?}", poisoned.events);
+        match failures[0] {
+            RunEvent::BatchFailed { items, message, .. } => {
+                assert_eq!(*items, 1);
+                assert!(message.contains("poisoned"), "{message}");
+            }
+            _ => unreachable!(),
+        }
+        // Every anchor from the healthy batches survives.
+        assert_eq!(poisoned.anchors, clean.anchors);
+        assert_eq!(poisoned.tiles_executed, 4);
     }
 }

@@ -7,13 +7,12 @@
 //! Y-drop), matching the paper's design where only the middle stage
 //! changes between the compared systems.
 
-use crate::absorb::{merge_into_kept, AbsorptionGrid};
 use crate::config::WgaParams;
-use crate::report::{FunnelCounters, Strand, WgaAlignment, WgaReport};
-use crate::stages::{run_extension, run_filter};
+use crate::error::WgaResult;
+use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaReport};
+use crate::stages::{extend_anchors, run_filter};
 use genome::Sequence;
-use hwsim::Workload;
-use seed::{dsoft_seeds, Anchor, SeedTable};
+use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
 use std::time::Instant;
 
 /// A configured whole-genome-alignment pipeline.
@@ -39,8 +38,26 @@ pub struct WgaPipeline {
 
 impl WgaPipeline {
     /// Creates a pipeline with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are degenerate (see
+    /// [`WgaParams::validate`]); use [`WgaPipeline::try_new`] for a typed
+    /// error instead.
     pub fn new(params: WgaParams) -> WgaPipeline {
-        WgaPipeline { params }
+        WgaPipeline::try_new(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a pipeline, rejecting degenerate parameters with a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::WgaError::Config`] when
+    /// [`WgaParams::validate`] rejects the parameters.
+    pub fn try_new(params: WgaParams) -> WgaResult<WgaPipeline> {
+        params.validate()?;
+        Ok(WgaPipeline { params })
     }
 
     /// The pipeline's parameters.
@@ -69,11 +86,12 @@ impl WgaPipeline {
         target: &Sequence,
         query: &Sequence,
     ) -> WgaReport {
+        let pair_start = Instant::now();
         let mut report = WgaReport::default();
-        self.run_strand(table, target, query, Strand::Forward, &mut report);
+        self.run_strand(table, target, query, Strand::Forward, pair_start, &mut report);
         if self.params.both_strands {
             let rc = query.reverse_complement();
-            self.run_strand(table, target, &rc, Strand::Reverse, &mut report);
+            self.run_strand(table, target, &rc, Strand::Reverse, pair_start, &mut report);
         }
         report
             .alignments
@@ -82,13 +100,14 @@ impl WgaPipeline {
     }
 
     /// Runs seeding/filtering/extension for one query strand, appending
-    /// into `report`.
+    /// into `report`. `pair_start` anchors the per-pair deadline budget.
     fn run_strand(
         &self,
         table: &SeedTable,
         target: &Sequence,
         query: &Sequence,
         strand: Strand,
+        pair_start: Instant,
         report: &mut WgaReport,
     ) {
         let params = &self.params;
@@ -102,8 +121,18 @@ impl WgaPipeline {
 
         // --- Filtering ---------------------------------------------------
         let filter_start = Instant::now();
+        let hits = clamp_hits(params, &seeding.hits, report);
         let mut anchors: Vec<Anchor> = Vec::new();
-        for &hit in &seeding.hits {
+        for &hit in hits {
+            if params.budget.deadline_exceeded(pair_start) {
+                report.events.push(RunEvent::BudgetExceeded {
+                    budget: BudgetKind::Deadline,
+                    stage: StageKind::Filtering,
+                    limit: params.budget.deadline.map_or(0, |d| d.as_millis() as u64),
+                    observed: pair_start.elapsed().as_millis() as u64,
+                });
+                break;
+            }
             let outcome = run_filter(params, target, query, hit);
             report.workload.filter_tiles += 1;
             report.counters.hits_filtered += 1;
@@ -115,44 +144,46 @@ impl WgaPipeline {
         report.counters.anchors_passed += anchors.len() as u64;
 
         // --- Extension ---------------------------------------------------
-        let ext_start = Instant::now();
-        // Extend best-scoring anchors first so absorption favours strong
-        // alignments.
-        anchors.sort_by_key(|a| std::cmp::Reverse(a.filter_score));
-        let mut grid = AbsorptionGrid::new();
-        let mut counters = FunnelCounters::default();
-        let mut workload = Workload::default();
-        let mut kept: Vec<align::Alignment> = Vec::new();
-        for anchor in anchors {
-            if grid.covers(anchor.target_pos, anchor.query_pos) {
-                counters.anchors_absorbed += 1;
-                continue;
-            }
-            let Some(ext) = run_extension(params, target, query, anchor) else {
-                continue;
-            };
-            workload.extension_tiles += ext.stats.tiles;
-            workload.extension_cells += ext.stats.cells;
-            workload.extension_rows += ext.stats.rows;
-            if ext.alignment.score >= params.extension_threshold {
-                grid.insert_alignment(&ext.alignment);
-                // Resolve staggered re-extensions (an anchor just past an
-                // X-drop stopping point re-aligns the same region).
-                if !merge_into_kept(&mut kept, ext.alignment) {
-                    counters.anchors_absorbed += 1;
-                }
-            }
-        }
-        report.timings.extension += ext_start.elapsed();
-        counters.alignments_kept = kept.len() as u64;
-        // `counters` only carries the extension-stage fields; the earlier
-        // stages were added to the report directly.
-        report.counters.merge(&counters);
-        report.workload.merge(&workload);
-        report
-            .alignments
-            .extend(kept.into_iter().map(|alignment| WgaAlignment { alignment, strand }));
+        extend_anchors(params, target, query, strand, anchors, pair_start, report);
     }
+}
+
+/// Applies the seed-hit and filter-tile budgets by truncating the hit
+/// list deterministically (hits arrive sorted by position), recording an
+/// event per tripped budget. Shared with the parallel driver so serial
+/// and parallel runs degrade identically.
+pub(crate) fn clamp_hits<'h>(
+    params: &WgaParams,
+    hits: &'h [SeedHit],
+    report: &mut WgaReport,
+) -> &'h [SeedHit] {
+    let mut hits = hits;
+    if let Some(limit) = params.budget.max_seed_hits {
+        if hits.len() as u64 > limit {
+            report.events.push(RunEvent::BudgetExceeded {
+                budget: BudgetKind::SeedHits,
+                stage: StageKind::Seeding,
+                limit,
+                observed: hits.len() as u64,
+            });
+            hits = &hits[..limit as usize];
+        }
+    }
+    if let Some(limit) = params.budget.max_filter_tiles {
+        // The tile budget spans both strands of the pair: only the tiles
+        // not yet consumed remain available to this strand.
+        let remaining = limit.saturating_sub(report.workload.filter_tiles);
+        if hits.len() as u64 > remaining {
+            report.events.push(RunEvent::BudgetExceeded {
+                budget: BudgetKind::FilterTiles,
+                stage: StageKind::Filtering,
+                limit,
+                observed: report.workload.filter_tiles + hits.len() as u64,
+            });
+            hits = &hits[..remaining as usize];
+        }
+    }
+    hits
 }
 
 #[cfg(test)]
@@ -245,6 +276,107 @@ mod tests {
         let fwd_only = WgaPipeline::new(WgaParams::darwin_wga())
             .run(&pair.target.sequence, &rc_query);
         assert!(fwd_only.total_matches() < reverse_matches / 4);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_config() {
+        let mut params = WgaParams::darwin_wga();
+        params.extension_threshold = -5;
+        assert!(WgaPipeline::try_new(params).is_err());
+        assert!(WgaPipeline::try_new(WgaParams::darwin_wga()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn new_panics_on_degenerate_config() {
+        let mut params = WgaParams::darwin_wga();
+        params.max_seed_occurrences = 0;
+        let _ = WgaPipeline::new(params);
+    }
+
+    #[test]
+    fn filter_tile_budget_bounds_work_and_degrades() {
+        use crate::config::ResourceBudget;
+        use crate::report::{BudgetKind, RunEvent};
+
+        let pair = synthetic(0.1, 30_000, 1);
+        let unbounded = WgaPipeline::new(WgaParams::darwin_wga())
+            .run(&pair.target.sequence, &pair.query.sequence);
+        assert!(!unbounded.is_degraded());
+        assert!(unbounded.workload.filter_tiles > 40);
+
+        let cap = 40u64;
+        let params = WgaParams::darwin_wga().with_budget(ResourceBudget {
+            max_filter_tiles: Some(cap),
+            ..ResourceBudget::default()
+        });
+        let capped = WgaPipeline::new(params).run(&pair.target.sequence, &pair.query.sequence);
+        assert_eq!(capped.workload.filter_tiles, cap);
+        assert!(capped.is_degraded());
+        assert!(capped.events.iter().any(|e| matches!(
+            e,
+            RunEvent::BudgetExceeded {
+                budget: BudgetKind::FilterTiles,
+                ..
+            }
+        )));
+        // Deterministic: the same capped run twice is identical.
+        let params2 = WgaParams::darwin_wga().with_budget(ResourceBudget {
+            max_filter_tiles: Some(cap),
+            ..ResourceBudget::default()
+        });
+        let again = WgaPipeline::new(params2).run(&pair.target.sequence, &pair.query.sequence);
+        assert_eq!(capped.total_matches(), again.total_matches());
+        assert_eq!(capped.events, again.events);
+    }
+
+    #[test]
+    fn seed_hit_budget_truncates_per_strand() {
+        use crate::config::ResourceBudget;
+        use crate::report::{BudgetKind, RunEvent};
+
+        let pair = synthetic(0.1, 30_000, 2);
+        let params = WgaParams::darwin_wga().with_budget(ResourceBudget {
+            max_seed_hits: Some(25),
+            ..ResourceBudget::default()
+        });
+        let report = WgaPipeline::new(params).run(&pair.target.sequence, &pair.query.sequence);
+        assert!(report.counters.hits_filtered <= 25);
+        assert!(report.events.iter().any(|e| matches!(
+            e,
+            RunEvent::BudgetExceeded {
+                budget: BudgetKind::SeedHits,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn extension_cell_budget_bounds_cells() {
+        use crate::config::ResourceBudget;
+        use crate::report::{BudgetKind, RunEvent};
+
+        // A moderately distant pair: turnover fragments the homology into
+        // many blocks, so extension work spreads over many anchors and a
+        // mid-run budget stop leaves real work undone.
+        let pair = synthetic(0.3, 40_000, 3);
+        let unbounded = WgaPipeline::new(WgaParams::darwin_wga())
+            .run(&pair.target.sequence, &pair.query.sequence);
+        let limit = unbounded.workload.extension_cells / 10;
+        assert!(limit > 0);
+        let params = WgaParams::darwin_wga().with_budget(ResourceBudget {
+            max_extension_cells: Some(limit),
+            ..ResourceBudget::default()
+        });
+        let capped = WgaPipeline::new(params).run(&pair.target.sequence, &pair.query.sequence);
+        assert!(capped.workload.extension_cells < unbounded.workload.extension_cells);
+        assert!(capped.events.iter().any(|e| matches!(
+            e,
+            RunEvent::BudgetExceeded {
+                budget: BudgetKind::ExtensionCells,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -49,6 +49,100 @@ impl StageTimings {
     }
 }
 
+/// Which resource budget a [`RunEvent::BudgetExceeded`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetKind {
+    /// [`crate::config::ResourceBudget::max_seed_hits`] (per strand).
+    SeedHits,
+    /// [`crate::config::ResourceBudget::max_filter_tiles`] (per pair).
+    FilterTiles,
+    /// [`crate::config::ResourceBudget::max_extension_cells`] (per pair).
+    ExtensionCells,
+    /// [`crate::config::ResourceBudget::deadline`] (per pair; the
+    /// `limit`/`observed` fields are milliseconds).
+    Deadline,
+}
+
+/// Which pipeline stage an event occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Seed-table lookup / D-SOFT banding.
+    Seeding,
+    /// Gapped or ungapped filtering.
+    Filtering,
+    /// GACT-X / Y-drop extension.
+    Extension,
+}
+
+/// One noteworthy event of a pipeline run: graceful degradation instead
+/// of unbounded work (budgets) or process death (worker panics).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// A resource budget tripped; the stage truncated its work
+    /// deterministically and the run continued.
+    BudgetExceeded {
+        /// Which budget tripped.
+        budget: BudgetKind,
+        /// Stage that was truncated.
+        stage: StageKind,
+        /// The configured limit (milliseconds for
+        /// [`BudgetKind::Deadline`]).
+        limit: u64,
+        /// What the stage observed / would have used when it tripped.
+        observed: u64,
+    },
+    /// A parallel worker batch panicked twice (once in a worker, once in
+    /// the serial retry) and its items were dropped from the result.
+    BatchFailed {
+        /// Stage the batch belonged to.
+        stage: StageKind,
+        /// Batch index within the stage dispatch.
+        batch: usize,
+        /// Number of work items the batch carried.
+        items: u64,
+        /// The panic message.
+        message: String,
+    },
+}
+
+/// Per-chromosome-pair status of an assembly-scale run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The pair ran to completion with no degradation.
+    Completed,
+    /// The pair produced results, but budgets tripped and/or worker
+    /// batches failed along the way.
+    Degraded {
+        /// What was truncated or dropped.
+        events: Vec<RunEvent>,
+    },
+    /// The pair produced no results (its worker panicked outside any
+    /// recoverable scope); the rest of the run continued.
+    Failed {
+        /// The panic/error message.
+        error: String,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the pair contributed results (completed or degraded).
+    pub fn has_results(&self) -> bool {
+        !matches!(self, RunOutcome::Failed { .. })
+    }
+}
+
+/// One chromosome pair's outcome within an
+/// [`crate::genome_pipeline::AssemblyReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// Target chromosome name.
+    pub target_chrom: String,
+    /// Query chromosome name.
+    pub query_chrom: String,
+    /// What happened to the pair.
+    pub outcome: RunOutcome,
+}
+
 /// Funnel counters: how many candidates each stage saw and passed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FunnelCounters {
@@ -86,9 +180,30 @@ pub struct WgaReport {
     pub timings: StageTimings,
     /// Stage funnel counters.
     pub counters: FunnelCounters,
+    /// Degradation events (tripped budgets, failed worker batches), in
+    /// the order they occurred. Empty for a clean run.
+    #[serde(default)]
+    pub events: Vec<RunEvent>,
 }
 
 impl WgaReport {
+    /// Whether any budget tripped or any worker batch failed.
+    pub fn is_degraded(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The run's [`RunOutcome`]: `Completed` when clean, `Degraded`
+    /// carrying the event list otherwise.
+    pub fn outcome(&self) -> RunOutcome {
+        if self.events.is_empty() {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Degraded {
+                events: self.events.clone(),
+            }
+        }
+    }
+
     /// Forward-strand alignments only (what the ground-truth metrics of
     /// the synthetic pairs evaluate).
     pub fn forward_alignments(&self) -> Vec<Alignment> {
@@ -147,6 +262,29 @@ mod tests {
         assert_eq!(t.total(), Duration::from_secs(6));
         t.merge(&t.clone());
         assert_eq!(t.total(), Duration::from_secs(12));
+    }
+
+    #[test]
+    fn outcome_reflects_events() {
+        let mut report = WgaReport::default();
+        assert!(!report.is_degraded());
+        assert_eq!(report.outcome(), RunOutcome::Completed);
+        report.events.push(RunEvent::BudgetExceeded {
+            budget: BudgetKind::FilterTiles,
+            stage: StageKind::Filtering,
+            limit: 10,
+            observed: 25,
+        });
+        assert!(report.is_degraded());
+        match report.outcome() {
+            RunOutcome::Degraded { events } => assert_eq!(events.len(), 1),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert!(report.outcome().has_results());
+        let failed = RunOutcome::Failed {
+            error: "worker panicked".into(),
+        };
+        assert!(!failed.has_results());
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Stage implementations: filtering and extension dispatch.
 
+use crate::absorb::{merge_into_kept, AbsorptionGrid};
 use crate::config::{ExtensionStage, FilterStage, WgaParams};
+use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaAlignment, WgaReport};
 use align::banded::{banded_smith_waterman, tile_around};
 use align::gactx::{self, ExtendedAlignment, TilingParams};
 use align::ungapped::ungapped_extend;
 use genome::Sequence;
 use seed::{Anchor, SeedHit};
+use std::time::Instant;
 
 /// Result of filtering one seed hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +112,78 @@ pub fn run_extension(
         &params.gaps,
         &tiling,
     )
+}
+
+/// Extends `anchors` best-scoring-first with anchor absorption, budget
+/// enforcement and deadline checks, appending results into `report`.
+///
+/// Shared by the serial ([`crate::pipeline::WgaPipeline`]) and parallel
+/// ([`crate::parallel`]) drivers so budget semantics are identical: the
+/// extension-cell budget and the pair deadline are checked before each
+/// anchor; on a trip a [`RunEvent::BudgetExceeded`] is recorded and the
+/// remaining (worse-scoring) anchors are skipped.
+///
+/// `pair_start` anchors the per-pair wall-clock deadline.
+pub(crate) fn extend_anchors(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    strand: Strand,
+    mut anchors: Vec<Anchor>,
+    pair_start: Instant,
+    report: &mut WgaReport,
+) {
+    let ext_start = Instant::now();
+    // Extend best-scoring anchors first so absorption favours strong
+    // alignments — and so budget truncation drops the weakest work.
+    anchors.sort_by_key(|a| std::cmp::Reverse(a.filter_score));
+    let mut grid = AbsorptionGrid::new();
+    let mut kept: Vec<align::Alignment> = Vec::new();
+    for anchor in anchors {
+        if let Some(limit) = params.budget.max_extension_cells {
+            if report.workload.extension_cells >= limit {
+                report.events.push(RunEvent::BudgetExceeded {
+                    budget: BudgetKind::ExtensionCells,
+                    stage: StageKind::Extension,
+                    limit,
+                    observed: report.workload.extension_cells,
+                });
+                break;
+            }
+        }
+        if params.budget.deadline_exceeded(pair_start) {
+            report.events.push(RunEvent::BudgetExceeded {
+                budget: BudgetKind::Deadline,
+                stage: StageKind::Extension,
+                limit: params.budget.deadline.map_or(0, |d| d.as_millis() as u64),
+                observed: pair_start.elapsed().as_millis() as u64,
+            });
+            break;
+        }
+        if grid.covers(anchor.target_pos, anchor.query_pos) {
+            report.counters.anchors_absorbed += 1;
+            continue;
+        }
+        let Some(ext) = run_extension(params, target, query, anchor) else {
+            continue;
+        };
+        report.workload.extension_tiles += ext.stats.tiles;
+        report.workload.extension_cells += ext.stats.cells;
+        report.workload.extension_rows += ext.stats.rows;
+        if ext.alignment.score >= params.extension_threshold {
+            grid.insert_alignment(&ext.alignment);
+            // Resolve staggered re-extensions (an anchor just past an
+            // X-drop stopping point re-aligns the same region).
+            if !merge_into_kept(&mut kept, ext.alignment) {
+                report.counters.anchors_absorbed += 1;
+            }
+        }
+    }
+    report.counters.alignments_kept += kept.len() as u64;
+    report
+        .alignments
+        .extend(kept.into_iter().map(|alignment| WgaAlignment { alignment, strand }));
+    report.timings.extension += ext_start.elapsed();
 }
 
 #[cfg(test)]

@@ -79,11 +79,16 @@ impl Assembly {
     ///
     /// # Errors
     ///
-    /// Propagates [`FastaError`] from the reader.
+    /// Propagates [`FastaError`] from the reader; returns
+    /// [`FastaError::DuplicateName`] when two records share a name, so
+    /// malformed user input surfaces as an error rather than a panic.
     pub fn from_fasta<R: BufRead>(name: impl Into<String>, reader: R) -> Result<Assembly, FastaError> {
         let records = fasta::read(reader)?;
         let mut assembly = Assembly::new(name);
         for rec in records {
+            if assembly.chromosome(&rec.name).is_some() {
+                return Err(FastaError::DuplicateName { name: rec.name });
+            }
             assembly.push(rec.name, rec.sequence);
         }
         Ok(assembly)
@@ -135,6 +140,13 @@ mod tests {
     fn rejects_duplicate_names() {
         let mut a = sample();
         a.push("chrI", "AC".parse().unwrap());
+    }
+
+    #[test]
+    fn from_fasta_rejects_duplicate_records() {
+        let input = b">chrI\nACGT\n>chrI\nTTTT\n";
+        let err = Assembly::from_fasta("dup", &input[..]).unwrap_err();
+        assert!(matches!(err, FastaError::DuplicateName { ref name } if name == "chrI"), "{err}");
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub enum FastaError {
         /// The invalid byte.
         byte: u8,
     },
+    /// Two records share the same name (first header token).
+    DuplicateName {
+        /// The repeated record name.
+        name: String,
+    },
 }
 
 impl fmt::Display for FastaError {
@@ -46,6 +51,9 @@ impl fmt::Display for FastaError {
             }
             FastaError::InvalidBase { line, byte } => {
                 write!(f, "line {line}: invalid sequence byte {:#04x}", byte)
+            }
+            FastaError::DuplicateName { name } => {
+                write!(f, "duplicate record name {name:?}")
             }
         }
     }

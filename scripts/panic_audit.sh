@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Panic audit: counts panic-prone call sites (.unwrap() / .expect( /
+# panic!) in the NON-TEST code of the core crates and fails when the
+# count grows beyond the recorded baseline. New fallible code should
+# return typed WgaError results instead of widening the panic surface;
+# deliberate additions must update scripts/panic_baseline.txt with a
+# justification in the commit.
+#
+# Test code is excluded by stripping each file from its first
+# `#[cfg(test)]` line onward (test modules sit at the bottom of every
+# file in this workspace).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count=0
+for f in $(find crates/core/src crates/genome/src crates/seed/src -name '*.rs' | sort); do
+  n=$(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$f" | grep -c -E '\.unwrap\(\)|\.expect\(|panic!' || true)
+  count=$((count + n))
+done
+
+baseline=$(tr -d '[:space:]' < scripts/panic_baseline.txt)
+echo "panic-prone call sites in non-test code: $count (baseline: $baseline)"
+if [ "$count" -gt "$baseline" ]; then
+  echo "error: panic audit failed — $count panic-prone call sites exceed the baseline of $baseline." >&2
+  echo "Return wga_core::WgaError instead, or justify the growth and update scripts/panic_baseline.txt." >&2
+  exit 1
+fi

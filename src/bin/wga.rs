@@ -7,9 +7,16 @@
 //!     conserved elements.
 //!
 //! wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
+//!           [--checkpoint run.journal] [--max-seed-hits N] [--max-filter-tiles N]
+//!           [--max-extension-cells N] [--deadline-ms N]
 //!     Align query to target with Darwin-WGA (or the LASTZ-like baseline
 //!     with --baseline); print a run summary and the top chains; write
-//!     MAF if requested.
+//!     MAF if requested. --threads parallelises the filter stage of each
+//!     chromosome pair. --checkpoint makes completed pairs durable in a
+//!     journal so an interrupted run resumes where it left off. The
+//!     --max-*/--deadline-ms budgets bound work per pair; a tripped
+//!     budget degrades the run (truncating the worst-scoring work first)
+//!     instead of aborting it.
 //!
 //! wga exons <alignments.maf> <exons.tsv> [--coverage F]
 //!     Score exon recovery: which intervals from a `wga generate`
@@ -18,7 +25,8 @@
 
 use darwin_wga::chain::chainer::chain_alignments;
 use darwin_wga::chain::metrics;
-use darwin_wga::core::genome_pipeline::align_assemblies;
+use darwin_wga::core::genome_pipeline::{align_assemblies_with, AlignOptions};
+use darwin_wga::core::report::RunOutcome;
 use darwin_wga::core::{config::WgaParams, maf};
 use darwin_wga::genome::assembly::Assembly;
 use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
@@ -53,6 +61,8 @@ const USAGE: &str = "\
 usage:
   wga generate <prefix> [--len N] [--distance D] [--seed S]
   wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
+            [--checkpoint run.journal] [--max-seed-hits N] [--max-filter-tiles N]
+            [--max-extension-cells N] [--deadline-ms N]
   wga exons <alignments.maf> <exons.tsv> [--coverage F]
 ";
 
@@ -240,17 +250,38 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     let baseline = take_flag(&mut args, "--baseline");
     let threads: usize = parse_opt(&mut args, "--threads", 1)?;
     let maf_path = take_opt(&mut args, "--maf")?;
+    let checkpoint = take_opt(&mut args, "--checkpoint")?;
+    let max_seed_hits = take_opt(&mut args, "--max-seed-hits")?;
+    let max_filter_tiles = take_opt(&mut args, "--max-filter-tiles")?;
+    let max_extension_cells = take_opt(&mut args, "--max-extension-cells")?;
+    let deadline_ms = take_opt(&mut args, "--deadline-ms")?;
     if args.len() != 2 {
         return Err(format!("align needs <target.fa> <query.fa>\n{USAGE}"));
     }
-    let _ = threads; // chromosome pairs run serially; kept for CLI compat
+    let parse_u64 = |flag: &str, v: Option<String>| -> Result<Option<u64>, String> {
+        v.map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value for {flag}: {v}"))
+        })
+        .transpose()
+    };
     let target = read_assembly(&args[0])?;
     let query = read_assembly(&args[1])?;
 
-    let params = if baseline {
+    let mut params = if baseline {
         WgaParams::lastz_baseline()
     } else {
         WgaParams::darwin_wga()
+    };
+    params.budget.max_seed_hits = parse_u64("--max-seed-hits", max_seed_hits)?;
+    params.budget.max_filter_tiles = parse_u64("--max-filter-tiles", max_filter_tiles)?;
+    params.budget.max_extension_cells = parse_u64("--max-extension-cells", max_extension_cells)?;
+    params.budget.deadline = parse_u64("--deadline-ms", deadline_ms)?
+        .map(std::time::Duration::from_millis);
+    params.validate().map_err(|e| e.to_string())?;
+    let options = AlignOptions {
+        threads,
+        checkpoint: checkpoint.map(std::path::PathBuf::from),
     };
     eprintln!(
         "aligning {} ({} chromosomes, {} bp) vs {} ({} chromosomes, {} bp) with {}...",
@@ -264,7 +295,8 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     );
 
     let start = std::time::Instant::now();
-    let report = align_assemblies(&params, &target, &query);
+    let report =
+        align_assemblies_with(&params, &target, &query, &options).map_err(|e| e.to_string())?;
     let wall = start.elapsed();
 
     println!("== run summary");
@@ -273,6 +305,29 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     println!("filter tiles:       {}", report.workload.filter_tiles);
     println!("alignments:         {}", report.alignments.len());
     println!("matched base pairs: {}", report.total_matches());
+    let completed = report.pairs.len() - report.degraded_pairs() - report.failed_pairs();
+    println!(
+        "chromosome pairs:   {} completed, {} degraded, {} failed ({} resumed from checkpoint)",
+        completed,
+        report.degraded_pairs(),
+        report.failed_pairs(),
+        report.resumed_pairs
+    );
+    for pair in &report.pairs {
+        match &pair.outcome {
+            RunOutcome::Completed => {}
+            RunOutcome::Degraded { events } => eprintln!(
+                "warning: {} vs {}: degraded ({} budget/batch events)",
+                pair.target_chrom,
+                pair.query_chrom,
+                events.len()
+            ),
+            RunOutcome::Failed { error } => eprintln!(
+                "warning: {} vs {}: failed: {error}",
+                pair.target_chrom, pair.query_chrom
+            ),
+        }
+    }
 
     // Per chromosome pair: chain and summarise.
     for tchrom in target.chromosomes() {

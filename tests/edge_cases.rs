@@ -119,6 +119,167 @@ fn n_runs_inside_sequences_are_handled() {
     }
 }
 
+/// Malformed user input must exit with code 1 and a single clean error
+/// line — never a panic, never a backtrace.
+mod cli {
+    use std::path::PathBuf;
+    use std::process::{Command, Output};
+
+    fn tmp(name: &str, contents: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "wga-edge-{}-{}",
+            std::process::id(),
+            name
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn wga(args: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_wga"))
+            .args(args)
+            .output()
+            .expect("spawn wga")
+    }
+
+    /// Asserts a clean failure: exit code 1, exactly one stderr line, and
+    /// it is an `error:` line (not a panic message).
+    fn assert_clean_failure(out: &Output, expect: &str) {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+        assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+        let lines: Vec<&str> = stderr.lines().collect();
+        assert_eq!(lines.len(), 1, "stderr: {stderr}");
+        assert!(lines[0].starts_with("error:"), "stderr: {stderr}");
+        assert!(lines[0].contains(expect), "stderr: {stderr}");
+    }
+
+    #[test]
+    fn align_rejects_empty_fasta() {
+        let path = tmp("empty.fa", "");
+        let out = wga(&[
+            "align",
+            path.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "no records");
+    }
+
+    #[test]
+    fn align_rejects_sequence_before_header() {
+        let good = tmp("truncated-good.fa", ">chr1\nACGTACGT\n");
+        // A FASTA truncated such that data precedes the first header.
+        let bad = tmp("truncated.fa", "ACGTACGT\n>chr1\nACGT\n");
+        let out = wga(&[
+            "align",
+            bad.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "header");
+    }
+
+    #[test]
+    fn align_rejects_invalid_bases() {
+        let good = tmp("badbyte-good.fa", ">chr1\nACGTACGT\n");
+        let bad = tmp("badbyte.fa", ">chr1\nACGT@CGT\n");
+        let out = wga(&[
+            "align",
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "invalid sequence byte");
+    }
+
+    #[test]
+    fn align_rejects_duplicate_record_names() {
+        let good = tmp("dup-good.fa", ">chr1\nACGTACGT\n");
+        let bad = tmp("dup.fa", ">chr1\nACGT\n>chr1\nTTTT\n");
+        let out = wga(&[
+            "align",
+            bad.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "duplicate record name");
+    }
+
+    #[test]
+    fn align_rejects_zero_threads() {
+        let good = tmp("threads-good.fa", ">chr1\nACGTACGT\n");
+        let out = wga(&[
+            "align",
+            good.to_str().unwrap(),
+            good.to_str().unwrap(),
+            "--threads",
+            "0",
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+        assert!(stderr.contains("invalid configuration"), "stderr: {stderr}");
+    }
+
+    #[test]
+    fn align_accepts_crlf_lowercase_and_n_runs() {
+        let core = "ACGGTCAGTCGATTGCAGTCCATGGACTGATC".repeat(40);
+        let target = tmp(
+            "crlf-target.fa",
+            &format!(">chr1 desc\r\n{}\r\nNNNN\r\n", core),
+        );
+        let query = tmp(
+            "crlf-query.fa",
+            &format!(">chr1\n{}\nnnnn\n", core.to_lowercase()),
+        );
+        let out = wga(&[
+            "align",
+            target.to_str().unwrap(),
+            query.to_str().unwrap(),
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("matched base pairs"), "stdout: {stdout}");
+    }
+
+    #[test]
+    fn align_accepts_header_only_records() {
+        let good = tmp("headeronly-good.fa", ">chr1\nACGTACGT\n");
+        let empty_record = tmp("headeronly.fa", ">chr1\n");
+        let out = wga(&[
+            "align",
+            good.to_str().unwrap(),
+            empty_record.to_str().unwrap(),
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    }
+
+    #[test]
+    fn exons_rejects_bad_maf_block() {
+        let maf = tmp(
+            "bad.maf",
+            "##maf version=1\na score=12\nnot an s line\n",
+        );
+        let exons = tmp("bad-maf-exons.tsv", "chr1\te0\t0\t100\n");
+        let out = wga(&[
+            "exons",
+            maf.to_str().unwrap(),
+            exons.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "expected 's' line");
+    }
+
+    #[test]
+    fn exons_rejects_bad_exon_table() {
+        let maf = tmp("empty.maf", "##maf version=1\n");
+        let exons = tmp("bad-exons.tsv", "only-two\tfields\n");
+        let out = wga(&[
+            "exons",
+            maf.to_str().unwrap(),
+            exons.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "bad line");
+    }
+}
+
 #[test]
 fn maf_of_empty_report_is_just_a_header() {
     let t: Sequence = "ACGT".parse().unwrap();

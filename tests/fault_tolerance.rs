@@ -1,0 +1,194 @@
+//! Fault-tolerance integration tests: checkpoint/resume equivalence,
+//! budget degradation, and typed errors through the assembly driver.
+
+use darwin_wga::core::genome_pipeline::{align_assemblies_with, AlignOptions};
+use darwin_wga::core::report::RunOutcome;
+use darwin_wga::core::{config::WgaParams, WgaError};
+use darwin_wga::genome::assembly::Assembly;
+use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn two_chrom_assemblies() -> (Assembly, Assembly) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let p1 = SyntheticPair::generate(9_000, &EvolutionParams::at_distance(0.2), &mut rng);
+    let p2 = SyntheticPair::generate(7_000, &EvolutionParams::at_distance(0.2), &mut rng);
+    let mut target = Assembly::new("t");
+    target.push("chrI", p1.target.sequence.clone());
+    target.push("chrII", p2.target.sequence.clone());
+    let mut query = Assembly::new("q");
+    query.push("chr1", p1.query.sequence.clone());
+    query.push("chr2", p2.query.sequence.clone());
+    (target, query)
+}
+
+fn journal_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "wga-fault-{}-{}.jsonl",
+        std::process::id(),
+        name
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The acceptance test for checkpoint/resume: a run interrupted after k
+/// completed pairs, then resumed, must produce a final report that is
+/// byte-identical (excluding wall-clock timings) to an uninterrupted run.
+#[test]
+fn kill_after_k_pairs_then_resume_is_equivalent() {
+    let (target, query) = two_chrom_assemblies();
+    let params = WgaParams::darwin_wga();
+    let opts_plain = AlignOptions {
+        threads: 2,
+        checkpoint: None,
+    };
+    let uninterrupted = align_assemblies_with(&params, &target, &query, &opts_plain).unwrap();
+    assert_eq!(uninterrupted.pairs.len(), 4);
+
+    // Full checkpointed run, then simulate a kill by truncating the
+    // journal back to the header + the first k=2 completed pairs, with a
+    // torn partial record at the tail (the crash-mid-append signature).
+    let path = journal_path("kill-resume");
+    let opts_ckpt = AlignOptions {
+        threads: 2,
+        checkpoint: Some(path.clone()),
+    };
+    let full = align_assemblies_with(&params, &target, &query, &opts_ckpt).unwrap();
+    assert_eq!(full.resumed_pairs, 0);
+    assert_eq!(full.canonical_text(), uninterrupted.canonical_text());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 pair records");
+    let truncated = format!(
+        "{}\n{}\n{}\n{{\"target_chrom\":\"chr",
+        lines[0], lines[1], lines[2]
+    );
+    std::fs::write(&path, truncated).unwrap();
+
+    let resumed = align_assemblies_with(&params, &target, &query, &opts_ckpt).unwrap();
+    assert_eq!(resumed.resumed_pairs, 2);
+    assert_eq!(resumed.canonical_text(), uninterrupted.canonical_text());
+    assert_eq!(resumed.workload, uninterrupted.workload);
+
+    // After the resume the journal is whole again: a third run replays
+    // every pair.
+    let replayed = align_assemblies_with(&params, &target, &query, &opts_ckpt).unwrap();
+    assert_eq!(replayed.resumed_pairs, 4);
+    assert_eq!(replayed.canonical_text(), uninterrupted.canonical_text());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A journal written under different parameters must be rejected, not
+/// silently mixed into the new run.
+#[test]
+fn resume_with_different_params_is_rejected() {
+    let (target, query) = two_chrom_assemblies();
+    let path = journal_path("fingerprint");
+    let opts = AlignOptions {
+        threads: 1,
+        checkpoint: Some(path.clone()),
+    };
+    align_assemblies_with(&WgaParams::darwin_wga(), &target, &query, &opts).unwrap();
+    let err =
+        align_assemblies_with(&WgaParams::lastz_baseline(), &target, &query, &opts).unwrap_err();
+    assert!(matches!(err, WgaError::Checkpoint { .. }), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A repeat-dense pair under tight budgets completes with a Degraded
+/// outcome and bounded work, instead of running unbounded or aborting.
+#[test]
+fn budget_capped_repeat_dense_pair_degrades_gracefully() {
+    // A tandem-repeat sequence: every seed matches hundreds of diagonals,
+    // the classic workload explosion budgets exist to contain.
+    let motif = "ACGGTCAGTCGATTGCAGTCCATGGACTGATC";
+    let mut target = Assembly::new("t");
+    target.push("chrR", motif.repeat(150).parse().unwrap());
+    let mut query = Assembly::new("q");
+    query.push("chrR", motif.repeat(150).parse().unwrap());
+
+    let params = WgaParams::darwin_wga();
+    let unbounded =
+        align_assemblies_with(&params, &target, &query, &AlignOptions::default()).unwrap();
+    assert_eq!(unbounded.degraded_pairs(), 0);
+    assert!(unbounded.workload.filter_tiles > 50);
+
+    let mut capped_params = params.clone();
+    capped_params.budget.max_filter_tiles = Some(50);
+    capped_params.budget.max_extension_cells =
+        Some((unbounded.workload.extension_cells / 10).max(1));
+    let capped =
+        align_assemblies_with(&capped_params, &target, &query, &AlignOptions::default()).unwrap();
+
+    assert_eq!(capped.pairs.len(), 1);
+    assert!(
+        matches!(capped.pairs[0].outcome, RunOutcome::Degraded { .. }),
+        "{:?}",
+        capped.pairs[0].outcome
+    );
+    assert!(capped.workload.filter_tiles <= 50, "{:?}", capped.workload);
+    assert!(
+        capped.workload.extension_cells < unbounded.workload.extension_cells,
+        "capped {:?} vs unbounded {:?}",
+        capped.workload,
+        unbounded.workload
+    );
+    // Degraded, not failed: the pair still produced usable output.
+    assert!(capped.pairs[0].outcome.has_results());
+}
+
+/// Budget-capped truncation is deterministic across thread counts: the
+/// serial and parallel drivers share the same clamp/extend logic.
+#[test]
+fn budget_capped_runs_match_across_thread_counts() {
+    let (target, query) = two_chrom_assemblies();
+    let mut params = WgaParams::darwin_wga();
+    params.budget.max_filter_tiles = Some(120);
+    params.budget.max_seed_hits = Some(400);
+    let serial = align_assemblies_with(
+        &params,
+        &target,
+        &query,
+        &AlignOptions {
+            threads: 1,
+            checkpoint: None,
+        },
+    )
+    .unwrap();
+    let parallel = align_assemblies_with(
+        &params,
+        &target,
+        &query,
+        &AlignOptions {
+            threads: 3,
+            checkpoint: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(serial.canonical_text(), parallel.canonical_text());
+}
+
+#[test]
+fn zero_threads_and_degenerate_params_are_typed_errors() {
+    let (target, query) = two_chrom_assemblies();
+    let err = align_assemblies_with(
+        &WgaParams::darwin_wga(),
+        &target,
+        &query,
+        &AlignOptions {
+            threads: 0,
+            checkpoint: None,
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, WgaError::Config(_)), "{err}");
+
+    let mut params = WgaParams::darwin_wga();
+    params.extension_threshold = -1;
+    let err =
+        align_assemblies_with(&params, &target, &query, &AlignOptions::default()).unwrap_err();
+    assert!(matches!(err, WgaError::Config(_)), "{err}");
+}
