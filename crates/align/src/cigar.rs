@@ -101,7 +101,7 @@ impl Cigar {
     pub fn iter_ops(&self) -> impl Iterator<Item = AlignOp> + '_ {
         self.runs
             .iter()
-            .flat_map(|&(op, count)| std::iter::repeat(op).take(count as usize))
+            .flat_map(|&(op, count)| std::iter::repeat_n(op, count as usize))
     }
 
     /// Whether the CIGAR has no operations.

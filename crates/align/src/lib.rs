@@ -6,7 +6,9 @@
 //!   [`nw`] (global) — used as exact oracles in tests;
 //! * the two *filtering* kernels the paper compares — [`ungapped`]
 //!   (LASTZ's X-drop ungapped extension) and [`banded`] (Darwin-WGA's
-//!   banded Smith-Waterman, "BSW");
+//!   banded Smith-Waterman, "BSW") — plus [`bsw_fast`], the batched
+//!   wavefront BSW engine that mirrors the systolic array's
+//!   anti-diagonal dataflow and is bit-identical to [`banded`];
 //! * the *extension* algorithms — [`xdrop`] (the per-tile X-drop kernel),
 //!   [`gactx`] (GACT-X tiled extension, the paper's contribution),
 //!   [`gact`] (the prior Darwin algorithm Fig. 10 compares against) and
@@ -35,6 +37,7 @@
 
 pub mod alignment;
 pub mod banded;
+pub mod bsw_fast;
 pub mod cigar;
 pub mod gact;
 pub mod gactx;

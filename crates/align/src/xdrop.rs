@@ -288,7 +288,7 @@ pub fn xdrop_tile_with_mode(
 
             // Beyond the previous row's reach (no up/diag inputs), only the
             // in-row E chain can keep cells alive; once it dies, stop.
-            let next_has_prev_input = j + 1 <= prev_jend;
+            let next_has_prev_input = j < prev_jend;
             j += 1;
             if !next_has_prev_input && !live {
                 break;
@@ -345,7 +345,7 @@ pub fn xdrop_tile_with_mode(
 fn best_edge_cell(rows: &[Row], n: usize) -> Option<(usize, usize, i64)> {
     let mut best: Option<(usize, usize, i64)> = None;
     let mut consider = |i: usize, j: usize, score: i64| {
-        if score > NEG_INF / 2 && best.map_or(true, |(_, _, s)| score > s) {
+        if score > NEG_INF / 2 && best.is_none_or(|(_, _, s)| score > s) {
             best = Some((i, j, score));
         }
     };

@@ -1,0 +1,258 @@
+//! Filter-engine throughput: scalar BSW vs the batched wavefront engine.
+//!
+//! Streams a fixed ladder of filter tiles along the main diagonal of a
+//! synthetic genome pair at several phylogenetic distances and times the
+//! two BSW implementations on the identical tile set:
+//!
+//! * **scalar** — [`align::banded::banded_smith_waterman`] per tile
+//!   (row-major, allocates its DP rows per call);
+//! * **batched** — [`align::bsw_fast::BswBatch`]: pair encoded once,
+//!   anti-diagonal wavefront DP over one reused scratch (the encode time
+//!   is charged to the batched wall clock).
+//!
+//! Every tile's outcome is cross-checked between engines while timing, so
+//! the bench doubles as a differential smoke test. Results go to stdout
+//! and to a machine-readable `BENCH_filter.json` (integer-only JSON:
+//! cells/sec, tiles/sec, wall µs per distance, plus `speedup_centi` =
+//! 100 × batched/scalar cells-per-second).
+//!
+//! Run with: `cargo run --release -p wga-bench --bin filter_throughput`
+//! Optional flags: `--tiles N` (default 2000), `--tile-size N` (320),
+//! `--band N` (32), `--out PATH` (BENCH_filter.json),
+//! `--distances m1,m2,..` (milli-subst/site, default 100,250,450).
+
+use align::banded::{banded_smith_waterman, tile_around};
+use align::bsw_fast::{BswBatch, WavefrontScratch};
+use genome::evolve::{EvolutionParams, SyntheticPair};
+use genome::{GapPenalties, Sequence, SubstitutionMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct EngineRun {
+    cells: u64,
+    wall_us: u64,
+    survived: u64,
+}
+
+impl EngineRun {
+    fn cells_per_sec(&self) -> u64 {
+        if self.wall_us == 0 {
+            return 0;
+        }
+        (self.cells as u128 * 1_000_000 / self.wall_us as u128) as u64
+    }
+
+    fn tiles_per_sec(&self, tiles: u64) -> u64 {
+        if self.wall_us == 0 {
+            return 0;
+        }
+        (tiles as u128 * 1_000_000 / self.wall_us as u128) as u64
+    }
+
+    fn json(&self, tiles: u64) -> String {
+        format!(
+            "{{\"cells\": {}, \"wall_us\": {}, \"cells_per_sec\": {}, \"tiles_per_sec\": {}, \"survived\": {}}}",
+            self.cells,
+            self.wall_us,
+            self.cells_per_sec(),
+            self.tiles_per_sec(tiles),
+            self.survived
+        )
+    }
+}
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn parse_opt<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str, default: T) -> T {
+    match take_opt(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let tiles: usize = parse_opt(&mut args, "--tiles", 2000);
+    let tile_size: usize = parse_opt(&mut args, "--tile-size", 320);
+    let band: usize = parse_opt(&mut args, "--band", 32);
+    let out_path = take_opt(&mut args, "--out").unwrap_or_else(|| "BENCH_filter.json".into());
+    let distances_raw = take_opt(&mut args, "--distances").unwrap_or_else(|| "100,250,450".into());
+    if !args.is_empty() {
+        eprintln!("error: unrecognised arguments: {args:?}");
+        std::process::exit(2);
+    }
+    let distances_milli: Vec<u64> = distances_raw
+        .split(',')
+        .map(|d| {
+            d.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid distance {d:?} (expected milli-subst/site)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let threshold: i64 = 4000;
+    let w = SubstitutionMatrix::darwin_wga();
+    let gaps = GapPenalties::darwin_wga();
+
+    println!(
+        "filter_throughput: {tiles} tiles of {tile_size} bp, band {band}, threshold {threshold}"
+    );
+    println!(
+        "{:<14} | {:>12} {:>12} | {:>12} {:>12} | {:>8}",
+        "distance", "scalar c/s", "tiles/s", "batched c/s", "tiles/s", "speedup"
+    );
+
+    let mut results = Vec::new();
+    for &milli in &distances_milli {
+        // One genome pair per distance, long enough for the tile ladder.
+        let stride = (tile_size / 2).max(1);
+        let len = tiles * stride + 2 * tile_size;
+        let mut rng = StdRng::seed_from_u64(9000 + milli);
+        let pair = SyntheticPair::generate(
+            len,
+            &EvolutionParams::at_distance(milli as f64 / 1000.0),
+            &mut rng,
+        );
+        let target = &pair.target.sequence;
+        let query = &pair.query.sequence;
+        let max_pos = target.len().min(query.len());
+        let hits: Vec<usize> = (0..tiles)
+            .map(|k| (k * stride + tile_size / 2) % max_pos)
+            .collect();
+
+        let scalar = run_scalar(target, query, &hits, &w, &gaps, tile_size, band, threshold);
+        let batched = run_batched(target, query, &hits, &w, &gaps, tile_size, band, threshold);
+        assert_eq!(
+            scalar.cells, batched.cells,
+            "engines disagree on DP cell count"
+        );
+        assert_eq!(
+            scalar.survived, batched.survived,
+            "engines disagree on surviving tiles"
+        );
+
+        let speedup_centi = if scalar.cells_per_sec() == 0 {
+            0
+        } else {
+            batched.cells_per_sec() * 100 / scalar.cells_per_sec()
+        };
+        println!(
+            "{:<14} | {:>12} {:>12} | {:>12} {:>12} | {:>7}.{:02}x",
+            format!("{:.3}", milli as f64 / 1000.0),
+            scalar.cells_per_sec(),
+            scalar.tiles_per_sec(tiles as u64),
+            batched.cells_per_sec(),
+            batched.tiles_per_sec(tiles as u64),
+            speedup_centi / 100,
+            speedup_centi % 100
+        );
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "    {{\"distance_milli\": {milli}, \"tiles\": {tiles}, \"scalar\": {}, \"batched\": {}, \"speedup_centi\": {speedup_centi}}}",
+            scalar.json(tiles as u64),
+            batched.json(tiles as u64)
+        );
+        results.push(entry);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"filter_throughput\",\n  \"tile_size\": {tile_size},\n  \"band\": {band},\n  \"threshold\": {threshold},\n  \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scalar(
+    target: &Sequence,
+    query: &Sequence,
+    hits: &[usize],
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    tile_size: usize,
+    band: usize,
+    threshold: i64,
+) -> EngineRun {
+    let warmup = hits.len().min(64);
+    for &pos in &hits[..warmup] {
+        let (tr, qr) = tile_around(pos, pos, tile_size, target.len(), query.len());
+        std::hint::black_box(banded_smith_waterman(
+            &target.as_slice()[tr],
+            &query.as_slice()[qr],
+            w,
+            gaps,
+            band,
+        ));
+    }
+    let start = Instant::now();
+    let mut cells = 0u64;
+    let mut survived = 0u64;
+    for &pos in hits {
+        let (tr, qr) = tile_around(pos, pos, tile_size, target.len(), query.len());
+        let out = banded_smith_waterman(&target.as_slice()[tr], &query.as_slice()[qr], w, gaps, band);
+        cells += out.cells;
+        survived += (out.max_score >= threshold) as u64;
+    }
+    EngineRun {
+        cells,
+        wall_us: start.elapsed().as_micros() as u64,
+        survived,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_batched(
+    target: &Sequence,
+    query: &Sequence,
+    hits: &[usize],
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    tile_size: usize,
+    band: usize,
+    threshold: i64,
+) -> EngineRun {
+    let mut scratch = WavefrontScratch::new();
+    {
+        let warm = BswBatch::new(target.as_slice(), query.as_slice(), w, gaps, band);
+        for &pos in &hits[..hits.len().min(64)] {
+            let (tr, qr) = tile_around(pos, pos, tile_size, target.len(), query.len());
+            std::hint::black_box(warm.run_tile(tr, qr, &mut scratch));
+        }
+    }
+    // The timed section includes batch construction (the once-per-pair
+    // encode), so the reported throughput is end-to-end honest.
+    let start = Instant::now();
+    let batch = BswBatch::new(target.as_slice(), query.as_slice(), w, gaps, band);
+    let mut cells = 0u64;
+    let mut survived = 0u64;
+    for &pos in hits {
+        let (tr, qr) = tile_around(pos, pos, tile_size, target.len(), query.len());
+        let out = batch.run_tile(tr, qr, &mut scratch);
+        cells += out.cells;
+        survived += (out.max_score >= threshold) as u64;
+    }
+    EngineRun {
+        cells,
+        wall_us: start.elapsed().as_micros() as u64,
+        survived,
+    }
+}

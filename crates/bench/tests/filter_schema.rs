@@ -1,0 +1,83 @@
+//! Schema validation for `filter_throughput`'s `BENCH_filter.json`.
+//!
+//! Runs the bench binary on a tiny input (CI's bench smoke-step executes
+//! this test) and checks the emitted JSON is well-formed and carries
+//! every field downstream tooling reads. Deliberately **no performance
+//! gating** — speedups vary with the host — beyond requiring non-zero
+//! throughput numbers; the binary itself asserts that scalar and batched
+//! agree on cell counts and surviving tiles.
+
+use wga_core::journal::json::{self, Json};
+
+fn int_field(obj: &Json, key: &str) -> i128 {
+    obj.get(key)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {obj:?}"))
+        .as_int()
+        .unwrap_or_else(|| panic!("field {key:?} is not an integer"))
+}
+
+fn check_engine(entry: &Json, engine: &str, tiles: i128) {
+    let e = entry.get(engine).expect("engine object");
+    let cells = int_field(e, "cells");
+    let wall_us = int_field(e, "wall_us");
+    let survived = int_field(e, "survived");
+    assert!(cells > 0, "{engine}: cells must be positive");
+    assert!(wall_us >= 0);
+    assert!(int_field(e, "cells_per_sec") > 0, "{engine}: zero throughput");
+    assert!(int_field(e, "tiles_per_sec") > 0);
+    assert!(
+        (0..=tiles).contains(&survived),
+        "{engine}: survived {survived} out of {tiles} tiles"
+    );
+}
+
+#[test]
+fn bench_filter_json_matches_schema() {
+    let out = std::env::temp_dir().join(format!("BENCH_filter_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_filter_throughput"))
+        .args([
+            "--tiles",
+            "16",
+            "--distances",
+            "150,400",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .status()
+        .expect("bench binary runs");
+    assert!(status.success(), "filter_throughput exited with {status}");
+
+    let text = std::fs::read_to_string(&out).expect("bench wrote its JSON");
+    let _ = std::fs::remove_file(&out);
+    let doc = json::parse(&text).expect("BENCH_filter.json is valid JSON");
+
+    assert_eq!(
+        doc.get("bench").and_then(Json::as_str),
+        Some("filter_throughput")
+    );
+    assert_eq!(int_field(&doc, "tile_size"), 320);
+    assert_eq!(int_field(&doc, "band"), 32);
+    assert_eq!(int_field(&doc, "threshold"), 4000);
+
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), 2, "one entry per requested distance");
+    let mut seen = Vec::new();
+    for entry in results {
+        let milli = int_field(entry, "distance_milli");
+        seen.push(milli);
+        let tiles = int_field(entry, "tiles");
+        assert_eq!(tiles, 16);
+        check_engine(entry, "scalar", tiles);
+        check_engine(entry, "batched", tiles);
+        // Both engines count the same DP cells on the same tile ladder.
+        let sc = entry.get("scalar").unwrap();
+        let ba = entry.get("batched").unwrap();
+        assert_eq!(int_field(sc, "cells"), int_field(ba, "cells"));
+        assert_eq!(int_field(sc, "survived"), int_field(ba, "survived"));
+        assert!(int_field(entry, "speedup_centi") >= 0);
+    }
+    assert_eq!(seen, vec![150, 400]);
+}

@@ -114,6 +114,40 @@ impl FilterStage {
     }
 }
 
+/// Which BSW filter *implementation* executes the gapped filtering
+/// stage.
+///
+/// Both engines compute the identical banded DP — same scores, same
+/// anchor coordinates, same cell counts (enforced by the
+/// differential-oracle harness in `tests/bsw_differential.rs`) — so this
+/// is purely a performance choice. See [`crate::filter_engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FilterEngineKind {
+    /// Row-major scalar reference kernel ([`align::banded`]), allocating
+    /// per tile. Kept as the oracle and for differential testing.
+    Scalar,
+    /// Batched wavefront kernel ([`align::bsw_fast`]): chromosome pair
+    /// encoded once, anti-diagonal DP over reused flat buffers, no
+    /// per-tile allocation. The default.
+    #[default]
+    Batched,
+}
+
+impl std::str::FromStr for FilterEngineKind {
+    type Err = String;
+
+    /// Parses the CLI spelling: `scalar` or `batched`.
+    fn from_str(s: &str) -> Result<FilterEngineKind, String> {
+        match s {
+            "scalar" => Ok(FilterEngineKind::Scalar),
+            "batched" => Ok(FilterEngineKind::Batched),
+            other => Err(format!(
+                "unknown filter engine {other:?} (expected \"scalar\" or \"batched\")"
+            )),
+        }
+    }
+}
+
 /// Which extension algorithm the pipeline runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExtensionStage {
@@ -146,6 +180,11 @@ pub struct WgaParams {
     pub max_seed_occurrences: usize,
     /// Filtering stage.
     pub filter: FilterStage,
+    /// Which BSW implementation executes a gapped filtering stage
+    /// (results are identical either way; ignored for ungapped
+    /// filtering).
+    #[serde(default)]
+    pub filter_engine: FilterEngineKind,
     /// Extension stage.
     pub extension: ExtensionStage,
     /// Extension threshold `H_e`: alignments scoring below are dropped.
@@ -183,6 +222,7 @@ impl WgaParams {
             dsoft: DsoftParams::default(),
             max_seed_occurrences: 1000,
             filter: FilterStage::Gapped(GappedFilterParams::default()),
+            filter_engine: FilterEngineKind::default(),
             extension: ExtensionStage::GactX(TilingParams::gactx_default()),
             extension_threshold: 4000,
             both_strands: false,
@@ -229,6 +269,12 @@ impl WgaParams {
     /// Sets the resource budget, preserving everything else.
     pub fn with_budget(mut self, budget: ResourceBudget) -> WgaParams {
         self.budget = budget;
+        self
+    }
+
+    /// Selects the BSW filter implementation, preserving everything else.
+    pub fn with_filter_engine(mut self, engine: FilterEngineKind) -> WgaParams {
+        self.filter_engine = engine;
         self
     }
 
@@ -452,6 +498,26 @@ mod tests {
         assert!(tight.deadline_exceeded(start));
         let p = WgaParams::darwin_wga().with_budget(tight);
         assert_eq!(p.budget.deadline, Some(Duration::from_nanos(1)));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn filter_engine_defaults_batched_and_parses() {
+        assert_eq!(
+            WgaParams::darwin_wga().filter_engine,
+            FilterEngineKind::Batched
+        );
+        assert_eq!(
+            "scalar".parse::<FilterEngineKind>().unwrap(),
+            FilterEngineKind::Scalar
+        );
+        assert_eq!(
+            "batched".parse::<FilterEngineKind>().unwrap(),
+            FilterEngineKind::Batched
+        );
+        assert!("simd".parse::<FilterEngineKind>().is_err());
+        let p = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar);
+        assert_eq!(p.filter_engine, FilterEngineKind::Scalar);
         p.validate().unwrap();
     }
 

@@ -1,0 +1,207 @@
+//! Pluggable BSW filter engines: scalar reference vs batched wavefront.
+//!
+//! The filtering stage dominates pipeline runtime (§III-A), so it gets
+//! two interchangeable implementations behind the [`FilterEngine`]
+//! trait:
+//!
+//! * [`ScalarFilterEngine`] calls the row-major reference kernel
+//!   ([`align::banded`]) per hit, allocating DP rows per tile — simple,
+//!   and the oracle everything else is measured against;
+//! * [`BatchedFilterEngine`] drives [`align::bsw_fast`]: the chromosome
+//!   pair is byte-encoded **once** into a shared [`BswBatch`]
+//!   ([`FilterContext`]), and each worker reuses one
+//!   [`WavefrontScratch`] across its whole batch of tiles — the software
+//!   analogue of streaming tiles through the paper's systolic array.
+//!
+//! Both produce bit-identical [`FilterOutcome`]s (same scores, anchor
+//! coordinates and cell counts); `tests/bsw_differential.rs` enforces
+//! this over thousands of random and adversarial tiles. Selection is via
+//! [`WgaParams::filter_engine`] / the CLI's `--filter-engine` flag.
+//!
+//! Usage shape (what [`crate::pipeline`] and [`crate::parallel`] do):
+//! build one [`FilterContext`] per chromosome pair and strand, share it
+//! read-only across workers, and have each worker materialise its own
+//! engine with [`FilterContext::engine`] for the batch of hits it owns.
+
+use crate::config::{FilterEngineKind, FilterStage, WgaParams};
+use crate::stages::{gapped_outcome, run_filter, FilterOutcome};
+use align::banded::tile_around;
+use align::bsw_fast::{BswBatch, WavefrontScratch};
+use genome::Sequence;
+use seed::SeedHit;
+
+/// One BSW filter implementation, stateful per worker.
+///
+/// Implementations may keep mutable scratch (the batched engine's
+/// wavefront buffers), which is why filtering takes `&mut self`; create
+/// one engine per worker/batch via [`FilterContext::engine`].
+pub trait FilterEngine {
+    /// Filters one seed hit, returning the anchor (if the tile passed
+    /// the threshold) and the DP cells evaluated.
+    fn filter_hit(
+        &mut self,
+        params: &WgaParams,
+        target: &Sequence,
+        query: &Sequence,
+        hit: SeedHit,
+    ) -> FilterOutcome;
+}
+
+/// Reference engine: per-hit scalar BSW (or ungapped extension),
+/// delegating to [`crate::stages::run_filter`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScalarFilterEngine;
+
+impl FilterEngine for ScalarFilterEngine {
+    fn filter_hit(
+        &mut self,
+        params: &WgaParams,
+        target: &Sequence,
+        query: &Sequence,
+        hit: SeedHit,
+    ) -> FilterOutcome {
+        run_filter(params, target, query, hit)
+    }
+}
+
+/// Batched wavefront engine: tiles run against a shared pre-encoded
+/// [`BswBatch`] with this engine's private reusable scratch.
+#[derive(Debug)]
+pub struct BatchedFilterEngine<'c> {
+    batch: &'c BswBatch,
+    scratch: WavefrontScratch,
+}
+
+impl FilterEngine for BatchedFilterEngine<'_> {
+    fn filter_hit(
+        &mut self,
+        params: &WgaParams,
+        target: &Sequence,
+        query: &Sequence,
+        hit: SeedHit,
+    ) -> FilterOutcome {
+        match params.filter {
+            FilterStage::Gapped(f) => {
+                let (t_range, q_range) = tile_around(
+                    hit.target_pos,
+                    hit.query_pos,
+                    f.tile_size,
+                    target.len(),
+                    query.len(),
+                );
+                let (t0, q0) = (t_range.start, q_range.start);
+                let out = self.batch.run_tile(t_range, q_range, &mut self.scratch);
+                gapped_outcome(&f, t0, q0, out)
+            }
+            // The batched kernel only accelerates the gapped DP; an
+            // ungapped filter stage falls back to the reference path.
+            FilterStage::Ungapped(_) => run_filter(params, target, query, hit),
+        }
+    }
+}
+
+/// Shared per-(pair, strand) filter state, built once and handed
+/// read-only to every filter worker.
+///
+/// Holds the byte-encoded chromosome pair when the batched engine is
+/// selected for a gapped filter stage (`None` otherwise — scalar
+/// filtering needs no shared state). `FilterContext` is `Sync`, so the
+/// parallel driver builds it outside the thread scope and each worker
+/// calls [`FilterContext::engine`] to get its own mutable engine.
+#[derive(Debug, Default)]
+pub struct FilterContext {
+    batch: Option<BswBatch>,
+}
+
+impl FilterContext {
+    /// Prepares shared filter state for one chromosome pair and strand.
+    ///
+    /// Encoding is `O(|target| + |query|)` and happens only when
+    /// `params` select the batched engine on a gapped filter stage.
+    pub fn new(params: &WgaParams, target: &Sequence, query: &Sequence) -> FilterContext {
+        let batch = match (params.filter_engine, params.filter) {
+            (FilterEngineKind::Batched, FilterStage::Gapped(f)) => Some(BswBatch::new(
+                target.as_slice(),
+                query.as_slice(),
+                &params.scoring,
+                &params.gaps,
+                f.band,
+            )),
+            _ => None,
+        };
+        FilterContext { batch }
+    }
+
+    /// Materialises a fresh engine for one worker's batch of hits.
+    ///
+    /// Batched contexts yield a [`BatchedFilterEngine`] with its own
+    /// scratch; scalar contexts yield the stateless
+    /// [`ScalarFilterEngine`].
+    pub fn engine(&self) -> Box<dyn FilterEngine + Send + '_> {
+        match &self.batch {
+            Some(batch) => Box::new(BatchedFilterEngine {
+                batch,
+                scratch: WavefrontScratch::new(),
+            }),
+            None => Box::new(ScalarFilterEngine),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::evolve::{EvolutionParams, SyntheticPair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair() -> (Sequence, Sequence) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = SyntheticPair::generate(6000, &EvolutionParams::at_distance(0.25), &mut rng);
+        (p.target.sequence, p.query.sequence)
+    }
+
+    #[test]
+    fn engines_agree_on_every_hit() {
+        let (t, q) = pair();
+        for params in [
+            WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar),
+            WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Batched),
+        ] {
+            let ctx = FilterContext::new(&params, &t, &q);
+            let mut engine = ctx.engine();
+            for pos in (0..5800).step_by(190) {
+                let hit = SeedHit::new(pos, pos.saturating_sub(3));
+                let via_engine = engine.filter_hit(&params, &t, &q, hit);
+                let via_scalar = run_filter(&params, &t, &q, hit);
+                assert_eq!(via_engine, via_scalar, "hit at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_params_build_no_batch_context() {
+        let (t, q) = pair();
+        let params = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar);
+        let ctx = FilterContext::new(&params, &t, &q);
+        assert!(ctx.batch.is_none());
+        let params = WgaParams::lastz_baseline();
+        let ctx = FilterContext::new(&params, &t, &q);
+        assert!(ctx.batch.is_none(), "ungapped stage never builds a batch");
+    }
+
+    #[test]
+    fn batched_engine_handles_ungapped_fallback() {
+        let (t, q) = pair();
+        // Batched engine requested but the stage is ungapped: behaviour
+        // must match the reference path exactly.
+        let params = WgaParams::lastz_baseline().with_filter_engine(FilterEngineKind::Batched);
+        let ctx = FilterContext::new(&params, &t, &q);
+        let mut engine = ctx.engine();
+        let hit = SeedHit::new(500, 497);
+        assert_eq!(
+            engine.filter_hit(&params, &t, &q, hit),
+            run_filter(&params, &t, &q, hit)
+        );
+    }
+}

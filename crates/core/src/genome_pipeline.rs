@@ -12,6 +12,15 @@
 //! checkpoint journal ([`AlignOptions::checkpoint`]) makes completed
 //! pairs durable so an interrupted run resumes where it left off with a
 //! byte-identical final report (see [`AssemblyReport::canonical_text`]).
+//!
+//! The filter stage of every pair runs through the engine selected by
+//! [`WgaParams::filter_engine`] (scalar reference or batched wavefront,
+//! see [`crate::filter_engine`]); both the serial and the panic-isolated
+//! parallel drivers build one shared
+//! [`crate::filter_engine::FilterContext`] per pair/strand and feed whole
+//! batches of tiles to each worker's engine. Engine choice never changes
+//! results — the golden-file regression test pins the canonical report
+//! byte-identical across engines and thread counts.
 
 use crate::config::WgaParams;
 use crate::error::{WgaError, WgaResult};

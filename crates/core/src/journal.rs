@@ -92,6 +92,7 @@ impl Journal {
 
         let mut recovered = HashMap::new();
         let mut needs_header = true;
+        let mut rewrite: Option<String> = None;
         if let Some(text) = existing {
             let lines: Vec<&str> = text.lines().collect();
             let mut nonempty = lines
@@ -104,9 +105,12 @@ impl Journal {
                     .map_err(|m| WgaError::checkpoint(&display, format!("line {}: {m}", header_no + 1)))?;
                 let rest: Vec<(usize, &&str)> = nonempty.collect();
                 let last_idx = rest.len().saturating_sub(1);
+                let mut kept: Vec<&str> = vec![*header];
+                let mut dropped_torn_tail = false;
                 for (i, (line_no, line)) in rest.iter().enumerate() {
                     match decode_record(line) {
                         Ok(rec) => {
+                            kept.push(**line);
                             recovered.insert(
                                 (rec.target_chrom.clone(), rec.query_chrom.clone()),
                                 rec,
@@ -114,7 +118,9 @@ impl Journal {
                         }
                         // A torn final line is the signature of a crash
                         // mid-append: recover everything before it.
-                        Err(_) if i == last_idx => {}
+                        Err(_) if i == last_idx => {
+                            dropped_torn_tail = true;
+                        }
                         Err(m) => {
                             return Err(WgaError::checkpoint(
                                 &display,
@@ -123,7 +129,22 @@ impl Journal {
                         }
                     }
                 }
+                // The file still ends with the torn bytes; appending onto
+                // them would corrupt the next record, so shrink the journal
+                // back to its valid prefix (in original record order)
+                // before reopening for append.
+                if dropped_torn_tail {
+                    let mut content = String::with_capacity(text.len());
+                    for line in kept {
+                        content.push_str(line);
+                        content.push('\n');
+                    }
+                    rewrite = Some(content);
+                }
             }
+        }
+        if let Some(content) = &rewrite {
+            std::fs::write(path, content).map_err(|e| WgaError::io(&display, e))?;
         }
 
         let mut file = OpenOptions::new()
@@ -535,7 +556,13 @@ fn decode_record(line: &str) -> Result<PairRecord, String> {
 
 // --- Minimal JSON subset ------------------------------------------------
 
-mod json {
+/// Minimal dependency-free JSON subset used by the journal and by tools
+/// that validate this workspace's JSON artefacts (e.g. the
+/// `filter_throughput` bench's `BENCH_filter.json` schema check).
+///
+/// Supports objects, arrays, strings, integers, booleans and `null` —
+/// no floats, which every JSON producer in this workspace avoids.
+pub mod json {
     /// A parsed JSON value. Numbers are integers only — the journal never
     /// writes floats.
     #[derive(Debug, Clone, PartialEq)]

@@ -38,6 +38,7 @@
 pub mod absorb;
 pub mod config;
 pub mod error;
+pub mod filter_engine;
 pub mod genome_pipeline;
 pub mod journal;
 pub mod maf;

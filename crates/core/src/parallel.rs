@@ -20,9 +20,10 @@
 //! runs stay deterministic.
 
 use crate::config::WgaParams;
+use crate::filter_engine::FilterContext;
 use crate::pipeline::{clamp_hits, WgaPipeline};
 use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaReport};
-use crate::stages::{extend_anchors, run_filter};
+use crate::stages::extend_anchors;
 use genome::Sequence;
 use parking_lot::Mutex;
 use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
@@ -163,14 +164,20 @@ fn filter_hits_parallel(
     let batches: Vec<&[SeedHit]> = hits.chunks(chunk).collect();
     let results: Mutex<Vec<(usize, BatchOutcome)>> = Mutex::new(Vec::with_capacity(batches.len()));
 
+    // Shared filter state (the batched engine's encoded pair), built once
+    // and read by every worker; each worker materialises its own engine
+    // with private scratch for its whole batch.
+    let filter_ctx = FilterContext::new(params, target, query);
+
     // Workers catch their own panics, so the scope result is Ok unless a
     // worker died outside `catch_unwind` (e.g. its report push failed);
     // such batches simply never report and are retried below.
     let _ = crossbeam::thread::scope(|scope| {
         for (idx, &batch) in batches.iter().enumerate() {
             let results = &results;
+            let filter_ctx = &filter_ctx;
             scope.spawn(move |_| {
-                let outcome = run_batch(params, target, query, batch, pair_start);
+                let outcome = run_batch(params, target, query, batch, pair_start, filter_ctx);
                 results.lock().push((idx, outcome));
             });
         }
@@ -197,7 +204,7 @@ fn filter_hits_parallel(
         let outcome = match outcome {
             Some(BatchOutcome::Done(anchors, processed)) => BatchOutcome::Done(anchors, processed),
             Some(BatchOutcome::Panicked(_)) | None => {
-                run_batch(params, target, query, batch, pair_start)
+                run_batch(params, target, query, batch, pair_start, &filter_ctx)
             }
         };
         match outcome {
@@ -230,15 +237,18 @@ fn filter_hits_parallel(
 }
 
 /// Filters one batch of hits under `catch_unwind`, stopping early if the
-/// pair deadline passes.
+/// pair deadline passes. The whole batch shares one engine (and thus one
+/// DP scratch) drawn from the shared [`FilterContext`].
 fn run_batch(
     params: &WgaParams,
     target: &Sequence,
     query: &Sequence,
     batch: &[SeedHit],
     pair_start: Instant,
+    filter_ctx: &FilterContext,
 ) -> BatchOutcome {
     let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut engine = filter_ctx.engine();
         let mut anchors = Vec::new();
         let mut processed = 0usize;
         for &hit in batch {
@@ -247,7 +257,7 @@ fn run_batch(
             }
             #[cfg(test)]
             poison_check(hit);
-            if let Some(anchor) = run_filter(params, target, query, hit).anchor {
+            if let Some(anchor) = engine.filter_hit(params, target, query, hit).anchor {
                 anchors.push(anchor);
             }
             processed += 1;

@@ -9,8 +9,9 @@
 
 use crate::config::WgaParams;
 use crate::error::WgaResult;
+use crate::filter_engine::FilterContext;
 use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaReport};
-use crate::stages::{extend_anchors, run_filter};
+use crate::stages::extend_anchors;
 use genome::Sequence;
 use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
 use std::time::Instant;
@@ -122,6 +123,11 @@ impl WgaPipeline {
         // --- Filtering ---------------------------------------------------
         let filter_start = Instant::now();
         let hits = clamp_hits(params, &seeding.hits, report);
+        // One filter context per strand (the batched engine encodes the
+        // pair here), one engine with reused scratch for the whole hit
+        // stream.
+        let filter_ctx = FilterContext::new(params, target, query);
+        let mut engine = filter_ctx.engine();
         let mut anchors: Vec<Anchor> = Vec::new();
         for &hit in hits {
             if params.budget.deadline_exceeded(pair_start) {
@@ -133,7 +139,7 @@ impl WgaPipeline {
                 });
                 break;
             }
-            let outcome = run_filter(params, target, query, hit);
+            let outcome = engine.filter_hit(params, target, query, hit);
             report.workload.filter_tiles += 1;
             report.counters.hits_filtered += 1;
             if let Some(anchor) = outcome.anchor {

@@ -6,9 +6,10 @@ use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Query strand an alignment was found on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Strand {
     /// Forward (query as given).
+    #[default]
     Forward,
     /// Reverse complement of the query; alignment coordinates refer to
     /// the reverse-complemented sequence.
@@ -217,12 +218,6 @@ impl WgaReport {
     /// Total matched base pairs across all output alignments.
     pub fn total_matches(&self) -> u64 {
         self.alignments.iter().map(|a| a.alignment.matches()).sum()
-    }
-}
-
-impl Default for Strand {
-    fn default() -> Self {
-        Strand::Forward
     }
 }
 

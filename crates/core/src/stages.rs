@@ -1,9 +1,9 @@
 //! Stage implementations: filtering and extension dispatch.
 
 use crate::absorb::{merge_into_kept, AbsorptionGrid};
-use crate::config::{ExtensionStage, FilterStage, WgaParams};
+use crate::config::{ExtensionStage, FilterStage, GappedFilterParams, WgaParams};
 use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaAlignment, WgaReport};
-use align::banded::{banded_smith_waterman, tile_around};
+use align::banded::{banded_smith_waterman, tile_around, BandedOutcome};
 use align::gactx::{self, ExtendedAlignment, TilingParams};
 use align::ungapped::ungapped_extend;
 use genome::Sequence;
@@ -17,6 +17,29 @@ pub struct FilterOutcome {
     pub anchor: Option<Anchor>,
     /// DP cells (gapped) or diagonal cells (ungapped) evaluated.
     pub cells: u64,
+}
+
+/// Thresholds one gapped-filter tile result into a [`FilterOutcome`],
+/// translating tile-local maximum coordinates back to chromosome space.
+///
+/// Shared by [`run_filter`] and the batched engine in
+/// [`crate::filter_engine`], so both BSW implementations apply byte-for-
+/// byte identical anchor construction.
+pub(crate) fn gapped_outcome(
+    f: &GappedFilterParams,
+    t0: usize,
+    q0: usize,
+    out: BandedOutcome,
+) -> FilterOutcome {
+    let anchor = (out.max_score >= f.threshold).then(|| Anchor {
+        target_pos: t0 + out.target_pos,
+        query_pos: q0 + out.query_pos,
+        filter_score: out.max_score,
+    });
+    FilterOutcome {
+        anchor,
+        cells: out.cells,
+    }
 }
 
 /// Runs the configured filter on one seed hit.
@@ -48,15 +71,7 @@ pub fn run_filter(
                 &params.gaps,
                 f.band,
             );
-            let anchor = (out.max_score >= f.threshold).then(|| Anchor {
-                target_pos: t0 + out.target_pos,
-                query_pos: q0 + out.query_pos,
-                filter_score: out.max_score,
-            });
-            FilterOutcome {
-                anchor,
-                cells: out.cells,
-            }
+            gapped_outcome(&f, t0, q0, out)
         }
         FilterStage::Ungapped(f) => {
             let seed_len = params

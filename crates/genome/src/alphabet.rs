@@ -156,6 +156,7 @@ impl Base {
     }
 }
 
+#[allow(clippy::derivable_impls)] // explicit: the default base is the *unknown* base
 impl Default for Base {
     fn default() -> Self {
         Base::N

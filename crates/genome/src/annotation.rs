@@ -86,7 +86,7 @@ impl CoordinateMap {
         let mut prev: Option<u32> = None;
         for &entry in map.iter().flatten() {
             assert!(
-                prev.map_or(true, |p| entry > p),
+                prev.is_none_or(|p| entry > p),
                 "coordinate map not increasing"
             );
             assert!(

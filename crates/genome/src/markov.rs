@@ -31,10 +31,7 @@ impl MarkovModel {
     /// (obs/exp ≈ 0.25), plus mild AA/TT enrichment.
     pub fn genome_like() -> MarkovModel {
         // Stationary-ish base composition: A=0.295, C=0.205, G=0.205, T=0.295.
-        let mut transition = [[0.0f64; 4]; 4];
-        for row in 0..4 {
-            transition[row] = [0.295, 0.205, 0.205, 0.295];
-        }
+        let mut transition = [[0.295, 0.205, 0.205, 0.295]; 4];
         let (a, c, g, t) = (0usize, 1usize, 2usize, 3usize);
         // Deplete CpG: move most of C→G mass to C→A and C→T.
         transition[c][g] = 0.05;
@@ -79,11 +76,11 @@ impl MarkovModel {
         if total == 0 {
             return MarkovModel::uniform();
         }
-        for i in 0..4 {
+        for (i, init) in initial.iter_mut().enumerate() {
             let row_total: u64 = (0..4)
                 .map(|j| counts.count(Base::from_code(i as u8), Base::from_code(j as u8)))
                 .sum();
-            initial[i] = row_total as f64 / total as f64;
+            *init = row_total as f64 / total as f64;
         }
         MarkovModel {
             initial,

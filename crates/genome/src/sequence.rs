@@ -143,7 +143,7 @@ impl Sequence {
     ///
     /// Returns `(packed_bytes, len)`; unpack with [`Sequence::from_packed3`].
     pub fn to_packed3(&self) -> (bytes::Bytes, usize) {
-        let mut out = bytes::BytesMut::with_capacity((self.len() * 3 + 7) / 8);
+        let mut out = bytes::BytesMut::with_capacity((self.len() * 3).div_ceil(8));
         let mut acc: u32 = 0;
         let mut nbits = 0u32;
         for &b in &self.bases {

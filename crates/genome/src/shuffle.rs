@@ -116,8 +116,8 @@ fn shuffle_segment<R: Rng + ?Sized>(segment: &[Base], rng: &mut R, out: &mut Seq
 /// Checks that following the candidate final edges from every vertex with
 /// outgoing edges reaches `last` (i.e. they form a spanning tree toward it).
 fn tree_reaches_last(candidate: &[Option<usize>; 4], last: usize, edges: &[Vec<usize>; 4]) -> bool {
-    for v in 0..4 {
-        if v == last || edges[v].is_empty() {
+    for (v, out_edges) in edges.iter().enumerate() {
+        if v == last || out_edges.is_empty() {
             continue;
         }
         let mut cur = v;

@@ -247,10 +247,8 @@ pub fn simulate_gactx_tile(
                 }
             }
             // Commit column registers.
-            for k in 0..rows_live {
-                v_out[k] = cur_v[k];
-                e_out[k] = cur_e[k];
-            }
+            v_out[..rows_live].copy_from_slice(&cur_v[..rows_live]);
+            e_out[..rows_live].copy_from_slice(&cur_e[..rows_live]);
             bram_words += rows_live as u64;
             stripe.ptrs.push(col_ptrs);
             if !col_live && j > boundary_live_end {

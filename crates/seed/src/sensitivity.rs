@@ -50,6 +50,7 @@ pub fn hit_probability(
 /// of mean `indel_every`) produces at least one seed hit.
 ///
 /// An indel terminates the current gap-free run; seeds cannot span runs.
+#[allow(clippy::too_many_arguments)] // mirrors the model's parameter list
 pub fn region_sensitivity<R: Rng + ?Sized>(
     pattern: &SeedPattern,
     identity: f64,

@@ -7,16 +7,19 @@
 //!     conserved elements.
 //!
 //! wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
-//!           [--checkpoint run.journal] [--max-seed-hits N] [--max-filter-tiles N]
+//!           [--filter-engine scalar|batched] [--checkpoint run.journal]
+//!           [--max-seed-hits N] [--max-filter-tiles N]
 //!           [--max-extension-cells N] [--deadline-ms N]
 //!     Align query to target with Darwin-WGA (or the LASTZ-like baseline
 //!     with --baseline); print a run summary and the top chains; write
 //!     MAF if requested. --threads parallelises the filter stage of each
-//!     chromosome pair. --checkpoint makes completed pairs durable in a
-//!     journal so an interrupted run resumes where it left off. The
-//!     --max-*/--deadline-ms budgets bound work per pair; a tripped
-//!     budget degrades the run (truncating the worst-scoring work first)
-//!     instead of aborting it.
+//!     chromosome pair. --filter-engine picks the BSW implementation for
+//!     gapped filtering (default `batched`, the wavefront engine; results
+//!     are identical either way). --checkpoint makes completed pairs
+//!     durable in a journal so an interrupted run resumes where it left
+//!     off. The --max-*/--deadline-ms budgets bound work per pair; a
+//!     tripped budget degrades the run (truncating the worst-scoring
+//!     work first) instead of aborting it.
 //!
 //! wga exons <alignments.maf> <exons.tsv> [--coverage F]
 //!     Score exon recovery: which intervals from a `wga generate`
@@ -61,7 +64,8 @@ const USAGE: &str = "\
 usage:
   wga generate <prefix> [--len N] [--distance D] [--seed S]
   wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
-            [--checkpoint run.journal] [--max-seed-hits N] [--max-filter-tiles N]
+            [--filter-engine scalar|batched] [--checkpoint run.journal]
+            [--max-seed-hits N] [--max-filter-tiles N]
             [--max-extension-cells N] [--deadline-ms N]
   wga exons <alignments.maf> <exons.tsv> [--coverage F]
 ";
@@ -250,6 +254,7 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     let baseline = take_flag(&mut args, "--baseline");
     let threads: usize = parse_opt(&mut args, "--threads", 1)?;
     let maf_path = take_opt(&mut args, "--maf")?;
+    let filter_engine = take_opt(&mut args, "--filter-engine")?;
     let checkpoint = take_opt(&mut args, "--checkpoint")?;
     let max_seed_hits = take_opt(&mut args, "--max-seed-hits")?;
     let max_filter_tiles = take_opt(&mut args, "--max-filter-tiles")?;
@@ -273,6 +278,9 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     } else {
         WgaParams::darwin_wga()
     };
+    if let Some(engine) = filter_engine {
+        params.filter_engine = engine.parse()?;
+    }
     params.budget.max_seed_hits = parse_u64("--max-seed-hits", max_seed_hits)?;
     params.budget.max_filter_tiles = parse_u64("--max-filter-tiles", max_filter_tiles)?;
     params.budget.max_extension_cells = parse_u64("--max-extension-cells", max_extension_cells)?;

@@ -1,0 +1,286 @@
+//! Differential-oracle harness: the batched wavefront BSW engine vs the
+//! scalar reference kernel.
+//!
+//! `align::bsw_fast` re-derives the banded DP in anti-diagonal order over
+//! reused buffers; this harness proves the rewrite is *bit-identical* to
+//! `align::banded::banded_smith_waterman` — same `max_score`, same argmax
+//! coordinates (including the scalar's row-major tie-break), same cell
+//! counts — over thousands of seeded-random tiles, adversarial
+//! constructions, and whole-pipeline runs, and that the two engines pass
+//! the exact same set of tiles at the paper's `H_f = 4000` threshold.
+
+use darwin_wga::align::banded::{banded_smith_waterman, tile_around, BandedOutcome};
+use darwin_wga::align::bsw_fast::{
+    banded_smith_waterman_wavefront, encode, bsw_wavefront, BswBatch, ScoreLut, WavefrontScratch,
+};
+use darwin_wga::core::config::{FilterEngineKind, WgaParams};
+use darwin_wga::core::parallel::run_parallel;
+use darwin_wga::core::pipeline::WgaPipeline;
+use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
+use darwin_wga::genome::{Base, GapPenalties, SubstitutionMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THRESHOLD: i64 = 4000;
+
+fn scoring() -> (SubstitutionMatrix, GapPenalties) {
+    (SubstitutionMatrix::darwin_wga(), GapPenalties::darwin_wga())
+}
+
+/// Runs both kernels on one tile and asserts the full outcome matches.
+/// Returns the (shared) outcome so callers can build surviving sets.
+fn check_tile(
+    t: &[Base],
+    q: &[Base],
+    band: usize,
+    scratch: &mut WavefrontScratch,
+) -> BandedOutcome {
+    let (w, g) = scoring();
+    let scalar = banded_smith_waterman(t, q, &w, &g, band);
+    let fast = banded_smith_waterman_wavefront(t, q, &w, &g, band, scratch);
+    assert_eq!(
+        scalar,
+        fast,
+        "engines disagree: band={band} n={} m={}",
+        t.len(),
+        q.len()
+    );
+    scalar
+}
+
+fn random_bases(rng: &mut StdRng, len: usize, n_fraction_millis: u64) -> Vec<Base> {
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0u64..1000) < n_fraction_millis {
+                Base::N
+            } else {
+                Base::from_code(rng.gen_range(0u8..4))
+            }
+        })
+        .collect()
+}
+
+/// A noisy copy of `t` with substitutions and indels (indel-dense, so
+/// optima wander off the main diagonal and stress the band edges).
+fn mutate(rng: &mut StdRng, t: &[Base], sub_p: f64, indel_p: f64) -> Vec<Base> {
+    let mut out = Vec::with_capacity(t.len() + 8);
+    for &b in t {
+        if rng.gen_bool(indel_p) {
+            if rng.gen_bool(0.5) {
+                continue; // deletion
+            }
+            out.push(Base::from_code(rng.gen_range(0u8..4))); // insertion
+        }
+        if rng.gen_bool(sub_p) {
+            out.push(Base::from_code(rng.gen_range(0u8..4)));
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
+#[test]
+fn thousand_seeded_random_tiles_are_identical() {
+    let mut scratch = WavefrontScratch::new();
+    let bands = [1usize, 2, 3, 8, 32, 64, 513];
+    let mut tiles = 0u64;
+    // Unrelated random sequences (noise tiles: the filter's common case).
+    for seed in 0..250 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let n = rng.gen_range(1usize..400);
+        let m = rng.gen_range(1usize..400);
+        let t = random_bases(&mut rng, n, 20);
+        let q = random_bases(&mut rng, m, 20);
+        check_tile(&t, &q, bands[seed as usize % bands.len()], &mut scratch);
+        tiles += 1;
+    }
+    // Related tiles: noisy copies with indels at escalating rates, where
+    // scores are high and tie-breaks actually matter.
+    for seed in 0..500 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let n = rng.gen_range(8usize..380);
+        let t = random_bases(&mut rng, n, 5);
+        let sub_p = 0.02 + 0.3 * (seed % 7) as f64 / 7.0;
+        let indel_p = 0.01 + 0.15 * (seed % 5) as f64 / 5.0;
+        let q = mutate(&mut rng, &t, sub_p, indel_p);
+        if q.is_empty() {
+            continue;
+        }
+        check_tile(&t, &q, bands[seed as usize % bands.len()], &mut scratch);
+        tiles += 1;
+    }
+    // Evolved genome windows (the pipeline's real tile distribution).
+    for (i, milli) in [80u64, 200, 350, 500].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(3000 + i as u64);
+        let pair = SyntheticPair::generate(
+            14_000,
+            &EvolutionParams::at_distance(milli as f64 / 1000.0),
+            &mut rng,
+        );
+        let (t, q) = (&pair.target.sequence, &pair.query.sequence);
+        for k in 0..80 {
+            let pos = 100 + k * 160;
+            let (tr, qr) = tile_around(pos, pos, 320, t.len(), q.len());
+            check_tile(&t.as_slice()[tr], &q.as_slice()[qr], 32, &mut scratch);
+            tiles += 1;
+        }
+    }
+    assert!(tiles >= 1000, "only {tiles} tiles exercised");
+}
+
+#[test]
+fn adversarial_all_gap_tiles() {
+    // Optimal paths forced through long gaps: the query is the target
+    // with a large block deleted / the target with a block inserted.
+    let mut scratch = WavefrontScratch::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    for &(block, band) in &[(10usize, 32usize), (40, 32), (31, 32), (33, 32), (64, 80)] {
+        let t = random_bases(&mut rng, 320, 0);
+        let mut q = t.clone();
+        q.drain(140..140 + block);
+        check_tile(&t, &q, band, &mut scratch);
+        check_tile(&q, &t, band, &mut scratch);
+    }
+    // Pure gap vs gap: sequences sharing nothing but one base.
+    let t = vec![Base::A; 64];
+    let q = vec![Base::C; 64];
+    check_tile(&t, &q, 8, &mut scratch);
+}
+
+#[test]
+fn adversarial_homopolymer_ties() {
+    // Homopolymers maximise score ties: every diagonal cell of the block
+    // reaches the same maximum, so the argmax is decided purely by the
+    // scalar's row-major first-improvement rule. Any tie-break slip in
+    // the wavefront order shows up here.
+    let mut scratch = WavefrontScratch::new();
+    for (n, m) in [(60usize, 60usize), (60, 45), (45, 60), (320, 317), (1, 300)] {
+        let t = vec![Base::A; n];
+        let q = vec![Base::A; m];
+        for band in [1, 2, 16, 33, 400] {
+            check_tile(&t, &q, band, &mut scratch);
+        }
+        // Alternating two-state repeats: ties along shifted diagonals too.
+        let t: Vec<Base> = (0..n).map(|i| if i % 2 == 0 { Base::A } else { Base::C }).collect();
+        let q: Vec<Base> = (0..m).map(|i| if i % 2 == 0 { Base::A } else { Base::C }).collect();
+        for band in [1, 3, 32] {
+            check_tile(&t, &q, band, &mut scratch);
+        }
+    }
+}
+
+#[test]
+fn adversarial_band_edge_optimum() {
+    // The optimum sits exactly on the band boundary |i - j| = band: the
+    // query carries a `band`-base prefix insertion, so the best path
+    // hugs the edge where out-of-band sentinel reads are adjacent.
+    let mut rng = StdRng::seed_from_u64(88);
+    let mut scratch = WavefrontScratch::new();
+    for band in [1usize, 2, 8, 32] {
+        let core = random_bases(&mut rng, 200, 0);
+        for shift in [band.saturating_sub(1), band, band + 1] {
+            let prefix = random_bases(&mut rng, shift, 0);
+            let mut q = prefix;
+            q.extend_from_slice(&core);
+            check_tile(&core, &q, band, &mut scratch);
+            check_tile(&q, &core, band, &mut scratch);
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_are_identical() {
+    let mut scratch = WavefrontScratch::new();
+    let (w, g) = scoring();
+    for (t, q) in [
+        (vec![], vec![]),
+        (vec![Base::A], vec![]),
+        (vec![], vec![Base::T]),
+        (vec![Base::G], vec![Base::G]),
+        (vec![Base::N; 50], vec![Base::N; 50]),
+    ] {
+        for band in [1usize, 7, 1000] {
+            let scalar = banded_smith_waterman(&t, &q, &w, &g, band);
+            let fast = banded_smith_waterman_wavefront(&t, &q, &w, &g, band, &mut scratch);
+            assert_eq!(scalar, fast);
+        }
+    }
+}
+
+#[test]
+fn surviving_tile_sets_are_identical() {
+    // The acceptance property the pipeline actually depends on: both
+    // engines pass exactly the same tiles at H_f = 4000.
+    let (w, g) = scoring();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let pair = SyntheticPair::generate(40_000, &EvolutionParams::at_distance(0.35), &mut rng);
+    let (t, q) = (&pair.target.sequence, &pair.query.sequence);
+    let batch = BswBatch::new(t.as_slice(), q.as_slice(), &w, &g, 32);
+    let mut scratch = WavefrontScratch::new();
+    let mut scalar_survivors = Vec::new();
+    let mut batched_survivors = Vec::new();
+    let mut jitter = StdRng::seed_from_u64(4343);
+    for k in 0..240usize {
+        let tpos = 160 + k * 160;
+        let qpos = tpos.saturating_sub(jitter.gen_range(0usize..48));
+        let (tr, qr) = tile_around(tpos, qpos, 320, t.len(), q.len());
+        let scalar = banded_smith_waterman(&t.as_slice()[tr.clone()], &q.as_slice()[qr.clone()], &w, &g, 32);
+        let fast = batch.run_tile(tr, qr, &mut scratch);
+        assert_eq!(scalar, fast, "tile {k}");
+        if scalar.max_score >= THRESHOLD {
+            scalar_survivors.push(k);
+        }
+        if fast.max_score >= THRESHOLD {
+            batched_survivors.push(k);
+        }
+    }
+    assert_eq!(scalar_survivors, batched_survivors);
+    assert!(
+        !scalar_survivors.is_empty(),
+        "test needs some surviving tiles to be meaningful"
+    );
+    assert!(
+        scalar_survivors.len() < 240,
+        "test needs some rejected tiles to be meaningful"
+    );
+}
+
+#[test]
+fn encoded_kernel_matches_base_wrapper() {
+    // The low-level encoded entry point and the &[Base] wrapper agree.
+    let (w, g) = scoring();
+    let mut rng = StdRng::seed_from_u64(99);
+    let t = random_bases(&mut rng, 300, 30);
+    let q = mutate(&mut rng, &t, 0.1, 0.05);
+    let lut = ScoreLut::new(&w);
+    let mut scratch = WavefrontScratch::new();
+    let a = bsw_wavefront(&encode(&t), &encode(&q), &lut, &g, 32, &mut scratch);
+    let b = banded_smith_waterman_wavefront(&t, &q, &w, &g, 32, &mut scratch);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn whole_pipeline_identical_across_engines_and_threads() {
+    // End-to-end: scalar and batched engines, serial and parallel, all
+    // produce the identical report on the same pair.
+    let mut rng = StdRng::seed_from_u64(606);
+    let pair = SyntheticPair::generate(30_000, &EvolutionParams::at_distance(0.3), &mut rng);
+    let (t, q) = (&pair.target.sequence, &pair.query.sequence);
+    let scalar_params = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar);
+    let batched_params = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Batched);
+    let reference = WgaPipeline::new(scalar_params.clone()).run(t, q);
+    assert!(
+        !reference.alignments.is_empty(),
+        "pipeline must produce alignments for the comparison to bite"
+    );
+    for (name, report) in [
+        ("batched serial", WgaPipeline::new(batched_params.clone()).run(t, q)),
+        ("scalar 3 threads", run_parallel(&scalar_params, t, q, 3)),
+        ("batched 3 threads", run_parallel(&batched_params, t, q, 3)),
+    ] {
+        assert_eq!(reference.alignments, report.alignments, "{name}");
+        assert_eq!(reference.workload, report.workload, "{name}");
+        assert_eq!(reference.counters, report.counters, "{name}");
+    }
+}

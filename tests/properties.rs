@@ -1,0 +1,154 @@
+//! Cross-kernel property tests: BSW symmetry, BSW vs full Smith-Waterman,
+//! and CIGAR length round-trips.
+//!
+//! These pin the algebraic invariants the pipeline silently relies on:
+//! the banded filter is symmetric under query/reference swap (the
+//! Darwin-WGA matrix is symmetric and gap penalties are strand-agnostic),
+//! a banded maximum can never beat the unbanded optimum, and every CIGAR
+//! a kernel emits consumes exactly the aligned spans it claims.
+
+use darwin_wga::align::banded::banded_smith_waterman;
+use darwin_wga::align::bsw_fast::{banded_smith_waterman_wavefront, WavefrontScratch};
+use darwin_wga::align::cigar::{AlignOp, Cigar};
+use darwin_wga::align::nw::needleman_wunsch;
+use darwin_wga::align::sw::smith_waterman;
+use darwin_wga::align::xdrop::xdrop_tile;
+use darwin_wga::genome::{Base, GapPenalties, Sequence, SubstitutionMatrix};
+use proptest::prelude::*;
+
+fn dna_strategy(min: usize, max: usize) -> impl Strategy<Value = Sequence> {
+    prop::collection::vec(0u8..4, min..max)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+/// A base sequence plus a mutated copy (substitutions and indels).
+fn related_pair() -> impl Strategy<Value = (Sequence, Sequence)> {
+    (dna_strategy(10, 240), any::<u64>()).prop_map(|(s, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = Sequence::new();
+        for b in s.iter() {
+            match rng.gen_range(0..16) {
+                0 => {}
+                1 => {
+                    q.push(Base::from_code(rng.gen_range(0..4)));
+                    q.push(b);
+                }
+                2 => q.push(Base::from_code(rng.gen_range(0..4))),
+                _ => q.push(b),
+            }
+        }
+        (s, q)
+    })
+}
+
+fn scoring() -> (SubstitutionMatrix, GapPenalties) {
+    (SubstitutionMatrix::darwin_wga(), GapPenalties::darwin_wga())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bsw_is_symmetric_under_sequence_swap((t, q) in related_pair(), band in 1usize..80) {
+        // The Table IIa matrix is symmetric and gap penalties apply
+        // identically to either sequence, and the band |i-j| <= B is a
+        // symmetric region — so swapping target and query transposes the
+        // DP matrix without changing its values: the maximum score and
+        // the number of banded cells are invariant. (The argmax *cell*
+        // may differ under ties: row-major order is not transpose-
+        // invariant.)
+        let (w, g) = scoring();
+        let fwd = banded_smith_waterman(t.as_slice(), q.as_slice(), &w, &g, band);
+        let rev = banded_smith_waterman(q.as_slice(), t.as_slice(), &w, &g, band);
+        prop_assert_eq!(fwd.max_score, rev.max_score);
+        prop_assert_eq!(fwd.cells, rev.cells);
+        // The swapped argmax must attain the same maximum in the
+        // transposed matrix; spot-check via the wavefront engine too.
+        let mut scratch = WavefrontScratch::new();
+        let wf_rev = banded_smith_waterman_wavefront(
+            q.as_slice(), t.as_slice(), &w, &g, band, &mut scratch);
+        prop_assert_eq!(rev, wf_rev);
+    }
+
+    #[test]
+    fn bsw_never_exceeds_full_smith_waterman((t, q) in related_pair(), band in 1usize..64) {
+        // Banding only removes paths, so the banded maximum is a lower
+        // bound on the full Gotoh local optimum — for both engines.
+        let (w, g) = scoring();
+        let full = smith_waterman(t.as_slice(), q.as_slice(), &w, &g);
+        let banded = banded_smith_waterman(t.as_slice(), q.as_slice(), &w, &g, band);
+        prop_assert!(banded.max_score <= full.best_score,
+            "banded {} > full {}", banded.max_score, full.best_score);
+        let mut scratch = WavefrontScratch::new();
+        let wf = banded_smith_waterman_wavefront(
+            t.as_slice(), q.as_slice(), &w, &g, band, &mut scratch);
+        prop_assert!(wf.max_score <= full.best_score);
+        prop_assert_eq!(wf, banded);
+    }
+
+    #[test]
+    fn sw_cigar_consumes_exactly_the_aligned_spans((t, q) in related_pair()) {
+        let (w, g) = scoring();
+        if let Some(a) = smith_waterman(t.as_slice(), q.as_slice(), &w, &g).alignment {
+            prop_assert_eq!(a.cigar.target_len(), a.target_span());
+            prop_assert_eq!(a.cigar.query_len(), a.query_span());
+            prop_assert!(a.validate(&t, &q).is_ok());
+        }
+    }
+
+    #[test]
+    fn nw_cigar_consumes_both_sequences_completely((t, q) in related_pair()) {
+        let (w, g) = scoring();
+        let r = needleman_wunsch(t.as_slice(), q.as_slice(), &w, &g);
+        prop_assert_eq!(r.cigar.target_len(), t.len());
+        prop_assert_eq!(r.cigar.query_len(), q.len());
+    }
+
+    #[test]
+    fn xdrop_cigar_consumes_exactly_the_reported_spans((t, q) in related_pair()) {
+        let (w, g) = scoring();
+        let r = xdrop_tile(t.as_slice(), q.as_slice(), &w, &g, 9430);
+        prop_assert_eq!(r.cigar.target_len(), r.max_target);
+        prop_assert_eq!(r.cigar.query_len(), r.max_query);
+    }
+
+    #[test]
+    fn cigar_push_roundtrips_op_counts(ops in prop::collection::vec((0u8..4, 1u32..9), 0..24)) {
+        // Building a CIGAR run-by-run preserves exactly the pushed ops
+        // (merging adjacent equal ops changes representation, never
+        // content): lengths, per-op counts and the op stream round-trip.
+        let decode = |c: u8| match c {
+            0 => AlignOp::Match,
+            1 => AlignOp::Subst,
+            2 => AlignOp::Insert,
+            _ => AlignOp::Delete,
+        };
+        let mut cigar = Cigar::new();
+        let mut expect_target = 0usize;
+        let mut expect_query = 0usize;
+        let mut expect_ops: Vec<AlignOp> = Vec::new();
+        for &(code, count) in &ops {
+            let op = decode(code);
+            cigar.push(op, count);
+            if op.consumes_target() { expect_target += count as usize; }
+            if op.consumes_query() { expect_query += count as usize; }
+            expect_ops.extend(std::iter::repeat_n(op, count as usize));
+        }
+        prop_assert_eq!(cigar.target_len(), expect_target);
+        prop_assert_eq!(cigar.query_len(), expect_query);
+        prop_assert_eq!(cigar.iter_ops().collect::<Vec<_>>(), expect_ops);
+        // Adjacent runs are always merged: no two consecutive runs share
+        // an op, so the text form is canonical.
+        for pair in cigar.runs().windows(2) {
+            prop_assert!(pair[0].0 != pair[1].0, "unmerged runs in {}", cigar);
+        }
+        // And a rebuilt copy from the op stream is identical.
+        let mut rebuilt = Cigar::new();
+        for op in cigar.iter_ops() {
+            rebuilt.push(op, 1);
+        }
+        prop_assert_eq!(rebuilt.runs(), cigar.runs());
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `bytes` API subset the workspace uses:
+//! `BytesMut::{with_capacity, extend_from_slice, freeze}` and an immutable
+//! `Bytes` that derefs to `[u8]`. Backed by `Vec<u8>` (no refcounted
+//! zero-copy slicing — nothing in the workspace relies on it).
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable contiguous byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Vec::new())
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.0.extend_from_slice(extend);
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BytesMut;
+
+    #[test]
+    fn freeze_round_trips() {
+        let mut b = BytesMut::with_capacity(4);
+        b.extend_from_slice(&[1, 2]);
+        b.extend_from_slice(&[3]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3]);
+        assert_eq!(frozen.len(), 3);
+    }
+}

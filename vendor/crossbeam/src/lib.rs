@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API, implemented on
+//! `std::thread::scope` (stable since 1.63). Only the surface the workspace
+//! uses is provided: `crossbeam::thread::scope` and `Scope::spawn`.
+
+#![warn(missing_docs)]
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope or join: `Err` carries a panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handed to the closure of [`scope`]; spawn borrows from the
+    /// enclosing environment through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives a
+        /// `&Scope` so it can spawn siblings; unjoined threads are joined
+        /// when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Returns `Err` with the payload if the closure or an
+    /// unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let sum = std::sync::Mutex::new(0u64);
+        let result = crate::thread::scope(|scope| {
+            for &x in &data {
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    *sum.lock().unwrap() += x;
+                });
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(*sum.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn panicking_child_surfaces_as_err() {
+        let result = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child panic"));
+        });
+        assert!(result.is_err());
+    }
+}

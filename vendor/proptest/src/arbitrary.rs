@@ -1,0 +1,27 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Distribution, Rng, Standard};
+use std::marker::PhantomData;
+
+/// Strategy generating any value of `T` via the standard distribution.
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns a strategy producing uniformly random values of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}

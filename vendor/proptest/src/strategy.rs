@@ -1,0 +1,238 @@
+//! Value-generation strategies (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from `(weight, strategy)` pairs; weights must sum to > 0.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        let total = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs positive total weight");
+        OneOf { options, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strategy) in &self.options {
+            if pick < *weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights exhausted");
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// String strategies from a small regex subset: literal characters,
+/// `\x` escapes, `[...]` classes (with ranges), and the quantifiers
+/// `{n}`, `{m,n}`, `?`, `+`, `*` (the unbounded forms cap at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed class in regex {self:?}"));
+                    let class = expand_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    let escaped = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in regex {self:?}"));
+                    i += 2;
+                    vec![escaped]
+                }
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, self);
+            let count = rng.gen_range(min..=max);
+            for _ in 0..count {
+                out.push(choices[rng.gen_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Expands a character-class body (`01`, `a-z0-9`, ...) into its members.
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            for code in lo..=hi {
+                if let Some(c) = char::from_u32(code) {
+                    members.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            members.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!members.is_empty(), "empty character class");
+    members
+}
+
+/// Parses an optional quantifier at `chars[*i]`, advancing past it.
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unclosed quantifier in regex {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {body:?} in regex {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((min, max)) => (parse(min), parse(max)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}

@@ -1,0 +1,23 @@
+//! Test-runner configuration.
+
+/// Configuration for a `proptest!` block (subset of upstream's `Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream's default. Tests that need fewer cases override with
+        // `with_cases`.
+        ProptestConfig { cases: 256 }
+    }
+}

@@ -1,0 +1,239 @@
+//! Distributions: `Standard` and uniform range sampling, matching the
+//! `rand` 0.8 algorithms bit-for-bit.
+
+use crate::RngCore;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: full-range integers, `[0, 1)` floats via
+/// the 53-bit (f64) / 24-bit (f32) multiply method, sign-bit booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! standard_int_32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+macro_rules! standard_int_64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_int_32!(u8, i8, u16, i16, u32, i32);
+standard_int_64!(u64, i64, usize, isize);
+
+/// Uniform range sampling (mirrors `rand::distributions::uniform`).
+pub mod uniform {
+    use crate::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a single uniform sample (mirrors
+    /// `SampleRange`).
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    /// Types with a uniform single-sample implementation.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Samples from the half-open range `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples from the closed range `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+        // `!(a < b)` and not `a >= b`: the two differ for incomparable
+        // values (float NaN), and upstream rand uses the negated form.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single_inclusive(*self.start(), *self.end(), rng)
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        fn is_empty(&self) -> bool {
+            !(self.start() <= self.end())
+        }
+    }
+
+    /// Widening multiply returning `(high, low)` halves of the product —
+    /// the `WideningMultiply` helper from upstream.
+    trait WideMul: Sized {
+        fn wmul(self, rhs: Self) -> (Self, Self);
+    }
+    impl WideMul for u32 {
+        fn wmul(self, rhs: u32) -> (u32, u32) {
+            let product = self as u64 * rhs as u64;
+            ((product >> 32) as u32, product as u32)
+        }
+    }
+    impl WideMul for u64 {
+        fn wmul(self, rhs: u64) -> (u64, u64) {
+            let product = self as u128 * rhs as u128;
+            ((product >> 64) as u64, product as u64)
+        }
+    }
+    impl WideMul for usize {
+        fn wmul(self, rhs: usize) -> (usize, usize) {
+            let (high, low) = (self as u64).wmul(rhs as u64);
+            (high as usize, low as usize)
+        }
+    }
+
+    // Mirrors `uniform_int_impl! { $ty, $unsigned, $u_large }`: the Lemire
+    // widening-multiply method with the upstream zone computation, so the
+    // consumed RNG stream matches rand 0.8 exactly.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    assert!(low < high, "gen_range: low >= high");
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    assert!(low <= high, "gen_range: low > high");
+                    let range =
+                        high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                    if range == 0 {
+                        // The whole domain: any sample is in range.
+                        return rng.gen::<$ty>();
+                    }
+                    let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                        // Small types use an exact modulus...
+                        let unsigned_max: $u_large = <$u_large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        // ...larger types the conservative approximation.
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (high_part, low_part) = v.wmul(range);
+                        if low_part <= zone {
+                            return low.wrapping_add(high_part as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl! { i8, u8, u32 }
+    uniform_int_impl! { i16, u16, u32 }
+    uniform_int_impl! { i32, u32, u32 }
+    uniform_int_impl! { i64, u64, u64 }
+    uniform_int_impl! { isize, usize, usize }
+    uniform_int_impl! { u8, u8, u32 }
+    uniform_int_impl! { u16, u16, u32 }
+    uniform_int_impl! { u32, u32, u32 }
+    uniform_int_impl! { u64, u64, u64 }
+    uniform_int_impl! { usize, usize, usize }
+
+    impl SampleUniform for f64 {
+        fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+            debug_assert!(low < high, "gen_range: low >= high");
+            let mut scale = high - low;
+            assert!(scale >= 0.0, "gen_range: range overflow");
+            loop {
+                // A value in [1, 2): 52 random mantissa bits under a fixed
+                // exponent, then shift down to [0, 1) — upstream's
+                // `into_float_with_exponent(0)` method.
+                let bits_to_discard = 64 - 52;
+                let value1_2 =
+                    f64::from_bits((rng.next_u64() >> bits_to_discard) | (1023u64 << 52));
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res < high {
+                    return res;
+                }
+                // Edge case: rounding hit `high`; nudge the scale down one
+                // ulp (upstream `decrease_masked`).
+                scale = f64::from_bits(scale.to_bits() - 1);
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: f64,
+            high: f64,
+            rng: &mut R,
+        ) -> f64 {
+            // Upstream samples inclusive float ranges through the scaled
+            // [0, 1] method; the workspace never uses it, so the half-open
+            // sampler is an adequate stand-in kept for API completeness.
+            f64::sample_single(low, f64::from_bits(high.to_bits() + 1), rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn integer_sampling_is_unbiased_enough() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[usize::sample_single(0, 5, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+}

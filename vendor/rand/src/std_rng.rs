@@ -1,0 +1,149 @@
+//! `StdRng`: ChaCha12 behind `BlockRng` buffering, matching `rand` 0.8
+//! (`rand_chacha` 0.3 + `rand_core` 0.6) bit-for-bit.
+
+use crate::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+/// `rand_chacha` generates four 64-byte blocks per refill.
+const BUFFER_WORDS: usize = 4 * BLOCK_WORDS;
+
+/// The standard RNG: ChaCha with 12 rounds, identical stream to
+/// `rand::rngs::StdRng` in rand 0.8.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    /// ChaCha key (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12, 13 — low, high).
+    counter: u64,
+    /// Stream / nonce words (state words 14, 15). Always zero for
+    /// `from_seed`, kept for fidelity.
+    nonce: [u32; 2],
+    /// Buffered keystream: four consecutive blocks.
+    results: [u32; BUFFER_WORDS],
+    /// Next unconsumed word in `results`; `BUFFER_WORDS` means empty.
+    index: usize,
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> StdRng {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        StdRng {
+            key,
+            counter: 0,
+            nonce: [0, 0],
+            results: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS,
+        }
+    }
+}
+
+impl StdRng {
+    /// Refills the buffer with the next four keystream blocks.
+    fn generate(&mut self) {
+        for block in 0..4 {
+            let counter = self.counter.wrapping_add(block as u64);
+            let mut state = [
+                0x6170_7865,
+                0x3320_646e,
+                0x7962_2d32,
+                0x6b20_6574,
+                self.key[0],
+                self.key[1],
+                self.key[2],
+                self.key[3],
+                self.key[4],
+                self.key[5],
+                self.key[6],
+                self.key[7],
+                counter as u32,
+                (counter >> 32) as u32,
+                self.nonce[0],
+                self.nonce[1],
+            ];
+            let initial = state;
+            for _ in 0..6 {
+                // One double round (column + diagonal) per iteration;
+                // six double rounds = ChaCha12.
+                quarter_round(&mut state, 0, 4, 8, 12);
+                quarter_round(&mut state, 1, 5, 9, 13);
+                quarter_round(&mut state, 2, 6, 10, 14);
+                quarter_round(&mut state, 3, 7, 11, 15);
+                quarter_round(&mut state, 0, 5, 10, 15);
+                quarter_round(&mut state, 1, 6, 11, 12);
+                quarter_round(&mut state, 2, 7, 8, 13);
+                quarter_round(&mut state, 3, 4, 9, 14);
+            }
+            for (out, (s, i)) in self.results[block * BLOCK_WORDS..(block + 1) * BLOCK_WORDS]
+                .iter_mut()
+                .zip(state.iter().zip(initial.iter()))
+            {
+                *out = s.wrapping_add(*i);
+            }
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate();
+            self.index = 0;
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng::next_u64 semantics, including the straddle case where
+        // exactly one word remains in the buffer.
+        let read = |results: &[u32; BUFFER_WORDS], index: usize| {
+            (u64::from(results[index + 1]) << 32) | u64::from(results[index])
+        };
+        let index = self.index;
+        if index < BUFFER_WORDS - 1 {
+            self.index += 2;
+            read(&self.results, index)
+        } else if index >= BUFFER_WORDS {
+            self.generate();
+            self.index = 2;
+            read(&self.results, 0)
+        } else {
+            let low = u64::from(self.results[BUFFER_WORDS - 1]);
+            self.generate();
+            self.index = 1;
+            let high = u64::from(self.results[0]);
+            (high << 32) | low
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Matches `fill_via_u32_chunks`: consume whole little-endian words,
+        // truncating the final word if `dest` is not a multiple of four.
+        let mut written = 0;
+        while written < dest.len() {
+            let word = self.next_u32().to_le_bytes();
+            let take = (dest.len() - written).min(4);
+            dest[written..written + take].copy_from_slice(&word[..take]);
+            written += take;
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no
+//! serializer is linked; the checkpoint journal uses the self-contained
+//! codec in `wga_core::json`), so this crate simply re-exports the no-op
+//! derive macros. The `derive` feature exists to satisfy the workspace
+//! dependency declaration and has no effect.
+
+pub use serde_derive::{Deserialize, Serialize};
