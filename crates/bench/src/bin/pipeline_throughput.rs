@@ -1,0 +1,253 @@
+//! End-to-end pipeline throughput: stage-barrier vs streaming dataflow.
+//!
+//! Generates a deterministic multi-chromosome assembly pair and runs the
+//! full seed→filter→extend pipeline under both executors across a ladder
+//! of thread counts:
+//!
+//! * **barrier** — [`wga_core::parallel`]: only the filter stage fans
+//!   out; seeding and extension run serially per pair;
+//! * **dataflow** — [`wga_core::dataflow`]: seeding producer, filter
+//!   pool and extension pool all stream concurrently over bounded
+//!   queues, so independent pair streams overlap across stages.
+//!
+//! Every run's `canonical_text` is cross-checked against a single-thread
+//! barrier reference while timing, so the bench doubles as a
+//! differential smoke test. Results go to stdout and to a
+//! machine-readable `BENCH_pipeline.json` (integer-only JSON: wall µs,
+//! alignments, matched bases, filter tiles per executor per thread
+//! count, plus `speedup_centi` = 100 × barrier/dataflow wall clock).
+//!
+//! Each configuration runs `--reps` times and reports the minimum wall
+//! clock per executor — the usual noise-robust estimator on shared
+//! hosts, where a single rep can be skewed by unrelated load.
+//!
+//! Run with: `cargo run --release -p wga-bench --bin pipeline_throughput`
+//! Optional flags: `--pairs N` (default 24), `--length N` (bp per
+//! chromosome, default 2500), `--threads t1,t2,..` (default 1,2,4,8),
+//! `--queue-depth N` (default 64), `--reps N` (default 3),
+//! `--out PATH` (BENCH_pipeline.json).
+
+use genome::assembly::Assembly;
+use genome::evolve::{EvolutionParams, SyntheticPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use wga_core::config::WgaParams;
+use wga_core::dataflow::ExecutorKind;
+use wga_core::genome_pipeline::{align_assemblies_with, AlignOptions, AssemblyReport};
+
+struct ExecutorRun {
+    wall_us: u64,
+    alignments: u64,
+    matches: u64,
+    filter_tiles: u64,
+}
+
+impl ExecutorRun {
+    fn json(&self) -> String {
+        format!(
+            "{{\"wall_us\": {}, \"alignments\": {}, \"matches\": {}, \"filter_tiles\": {}}}",
+            self.wall_us, self.alignments, self.matches, self.filter_tiles
+        )
+    }
+}
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn parse_opt<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str, default: T) -> T {
+    match take_opt(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// One homologous chromosome per pair, distances cycling through a
+/// realistic spread so the filter survival rate varies across streams.
+fn assemblies(pairs: usize, length: usize) -> (Assembly, Assembly) {
+    const DISTANCES_MILLI: [u64; 4] = [150, 250, 350, 200];
+    let mut target = Assembly::new("bench-target");
+    let mut query = Assembly::new("bench-query");
+    for i in 0..pairs {
+        let milli = DISTANCES_MILLI[i % DISTANCES_MILLI.len()];
+        let mut rng = StdRng::seed_from_u64(4200 + i as u64);
+        let pair = SyntheticPair::generate(
+            length,
+            &EvolutionParams::at_distance(milli as f64 / 1000.0),
+            &mut rng,
+        );
+        target.push(format!("chr{i}T"), pair.target.sequence.clone());
+        query.push(format!("chr{i}Q"), pair.query.sequence.clone());
+    }
+    (target, query)
+}
+
+fn run_once(
+    params: &WgaParams,
+    target: &Assembly,
+    query: &Assembly,
+    executor: ExecutorKind,
+    threads: usize,
+    queue_depth: usize,
+) -> (AssemblyReport, ExecutorRun) {
+    let options = AlignOptions {
+        threads,
+        executor,
+        queue_depth,
+        ..AlignOptions::default()
+    };
+    let start = Instant::now();
+    let report = align_assemblies_with(params, target, query, &options).unwrap_or_else(|e| {
+        eprintln!("error: {executor:?} run at {threads} threads failed: {e}");
+        std::process::exit(1);
+    });
+    let wall_us = start.elapsed().as_micros() as u64;
+    let run = ExecutorRun {
+        wall_us,
+        alignments: report.alignments.len() as u64,
+        matches: report.total_matches(),
+        filter_tiles: report.workload.filter_tiles,
+    };
+    (report, run)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pairs: usize = parse_opt(&mut args, "--pairs", 24);
+    let length: usize = parse_opt(&mut args, "--length", 2_500);
+    let queue_depth: usize = parse_opt(&mut args, "--queue-depth", 64);
+    let reps: usize = parse_opt(&mut args, "--reps", 3);
+    if reps == 0 {
+        eprintln!("error: --reps must be at least 1");
+        std::process::exit(2);
+    }
+    let out_path = take_opt(&mut args, "--out").unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let threads_raw = take_opt(&mut args, "--threads").unwrap_or_else(|| "1,2,4,8".into());
+    if !args.is_empty() {
+        eprintln!("error: unrecognised arguments: {args:?}");
+        std::process::exit(2);
+    }
+    let thread_counts: Vec<usize> = threads_raw
+        .split(',')
+        .map(|t| {
+            t.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid thread count {t:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+
+    let params = WgaParams::darwin_wga();
+    let (target, query) = assemblies(pairs, length);
+    println!(
+        "pipeline_throughput: {pairs} chromosome pairs of {length} bp, queue depth {queue_depth}, best of {reps}"
+    );
+
+    // Warmup + correctness reference: an untimed single-thread barrier run.
+    let (reference, _) = run_once(
+        &params,
+        &target,
+        &query,
+        ExecutorKind::Barrier,
+        1,
+        queue_depth,
+    );
+    let expected = reference.canonical_text();
+    if std::env::var_os("WGA_BENCH_TIMINGS").is_some() {
+        eprintln!("reference timings: {:?}", reference.timings);
+    }
+
+    println!(
+        "{:>7} | {:>14} | {:>14} | {:>8}",
+        "threads", "barrier µs", "dataflow µs", "speedup"
+    );
+
+    let mut results = Vec::new();
+    for &threads in &thread_counts {
+        // Interleave executors across reps so slow drift in background
+        // load hits both fairly; keep each executor's fastest rep.
+        let mut barrier: Option<ExecutorRun> = None;
+        let mut dataflow: Option<ExecutorRun> = None;
+        for _ in 0..reps {
+            let (b_report, b_run) = run_once(
+                &params,
+                &target,
+                &query,
+                ExecutorKind::Barrier,
+                threads,
+                queue_depth,
+            );
+            let (d_report, d_run) = run_once(
+                &params,
+                &target,
+                &query,
+                ExecutorKind::Dataflow,
+                threads,
+                queue_depth,
+            );
+            assert_eq!(
+                b_report.canonical_text(),
+                expected,
+                "barrier diverged at {threads} threads"
+            );
+            assert_eq!(
+                d_report.canonical_text(),
+                expected,
+                "dataflow diverged at {threads} threads"
+            );
+            if std::env::var_os("WGA_BENCH_TIMINGS").is_some() {
+                if let Some(metrics) = &d_report.stage_metrics {
+                    eprintln!("{}", metrics.summary());
+                }
+            }
+            if barrier.as_ref().is_none_or(|b| b_run.wall_us < b.wall_us) {
+                barrier = Some(b_run);
+            }
+            if dataflow.as_ref().is_none_or(|d| d_run.wall_us < d.wall_us) {
+                dataflow = Some(d_run);
+            }
+        }
+        let barrier = barrier.expect("reps >= 1");
+        let dataflow = dataflow.expect("reps >= 1");
+
+        let speedup_centi = (barrier.wall_us * 100).checked_div(dataflow.wall_us).unwrap_or(0);
+        println!(
+            "{:>7} | {:>14} | {:>14} | {:>7}.{:02}x",
+            threads,
+            barrier.wall_us,
+            dataflow.wall_us,
+            speedup_centi / 100,
+            speedup_centi % 100
+        );
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "    {{\"threads\": {threads}, \"barrier\": {}, \"dataflow\": {}, \"speedup_centi\": {speedup_centi}}}",
+            barrier.json(),
+            dataflow.json()
+        );
+        results.push(entry);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"pairs\": {pairs},\n  \"length\": {length},\n  \"queue_depth\": {queue_depth},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,82 @@
+//! Schema validation for `pipeline_throughput`'s `BENCH_pipeline.json`.
+//!
+//! Runs the bench binary on a tiny input (CI's bench smoke-step executes
+//! this test) and checks the emitted JSON is well-formed and carries
+//! every field downstream tooling reads. Deliberately **no performance
+//! gating** — executor speedups vary with the host and input size — the
+//! binary itself asserts both executors reproduce the single-thread
+//! barrier reference byte-for-byte.
+
+use wga_core::journal::json::{self, Json};
+
+fn int_field(obj: &Json, key: &str) -> i128 {
+    obj.get(key)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {obj:?}"))
+        .as_int()
+        .unwrap_or_else(|| panic!("field {key:?} is not an integer"))
+}
+
+fn check_executor(entry: &Json, executor: &str) -> (i128, i128) {
+    let e = entry.get(executor).expect("executor object");
+    let wall_us = int_field(e, "wall_us");
+    let alignments = int_field(e, "alignments");
+    let matches = int_field(e, "matches");
+    let filter_tiles = int_field(e, "filter_tiles");
+    assert!(wall_us >= 0);
+    assert!(alignments >= 0);
+    assert!(matches >= 0, "{executor}: negative match count");
+    assert!(filter_tiles > 0, "{executor}: pipeline filtered no tiles");
+    (matches, filter_tiles)
+}
+
+#[test]
+fn bench_pipeline_json_matches_schema() {
+    let out = std::env::temp_dir().join(format!("BENCH_pipeline_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_pipeline_throughput"))
+        .args([
+            "--pairs",
+            "2",
+            "--length",
+            "5000",
+            "--threads",
+            "1,2",
+            "--reps",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .status()
+        .expect("bench binary runs");
+    assert!(status.success(), "pipeline_throughput exited with {status}");
+
+    let text = std::fs::read_to_string(&out).expect("bench wrote its JSON");
+    let _ = std::fs::remove_file(&out);
+    let doc = json::parse(&text).expect("BENCH_pipeline.json is valid JSON");
+
+    assert_eq!(
+        doc.get("bench").and_then(Json::as_str),
+        Some("pipeline_throughput")
+    );
+    assert_eq!(int_field(&doc, "pairs"), 2);
+    assert_eq!(int_field(&doc, "length"), 5000);
+    assert_eq!(int_field(&doc, "queue_depth"), 64);
+    assert_eq!(int_field(&doc, "reps"), 1);
+
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), 2, "one entry per requested thread count");
+    let mut seen = Vec::new();
+    for entry in results {
+        seen.push(int_field(entry, "threads"));
+        let (b_matches, b_tiles) = check_executor(entry, "barrier");
+        let (d_matches, d_tiles) = check_executor(entry, "dataflow");
+        // Both executors run the identical workload — the binary already
+        // byte-compares canonical_text; the JSON must agree too.
+        assert_eq!(b_matches, d_matches, "executors disagree on matches");
+        assert_eq!(b_tiles, d_tiles, "executors disagree on filter tiles");
+        assert!(int_field(entry, "speedup_centi") >= 0);
+    }
+    assert_eq!(seen, vec![1, 2]);
+}

@@ -1,0 +1,193 @@
+//! Shared resource-budget enforcement for every pipeline executor.
+//!
+//! The serial pipeline ([`crate::pipeline`]), the barrier parallel driver
+//! ([`crate::parallel`]) and the streaming dataflow executor
+//! ([`crate::dataflow`]) must degrade *identically* when a
+//! [`crate::config::ResourceBudget`] trips — the golden-report and
+//! fault-tolerance suites compare their outputs byte for byte. This
+//! module is the single implementation of the clamp rules all three
+//! drivers consume, so the truncation arithmetic and the
+//! [`RunEvent::BudgetExceeded`] records cannot drift apart.
+
+use crate::config::{ResourceBudget, WgaParams};
+use crate::report::{BudgetKind, RunEvent, StageKind, WgaReport};
+use seed::SeedHit;
+use std::time::Instant;
+
+/// Result of clamping one strand's seed-hit list against the seed-hit
+/// and filter-tile budgets: how many hits to keep (a prefix — hits
+/// arrive in stable positional order, so truncation is deterministic)
+/// and the budget events tripped along the way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HitClamp {
+    /// Number of leading hits that fit within the budgets.
+    pub take: usize,
+    /// One [`RunEvent::BudgetExceeded`] per tripped budget, in the order
+    /// they were evaluated (seed hits, then filter tiles).
+    pub events: Vec<RunEvent>,
+}
+
+/// Applies the seed-hit budget (per strand) and the filter-tile budget
+/// (per pair, `tiles_used` consumed so far) to a strand's `hits`-long
+/// hit list.
+///
+/// This is the budget arithmetic shared verbatim by every executor; the
+/// dataflow producer calls it directly because it plans both strands of
+/// a pair before any tile has executed.
+pub fn clamp_hit_count(params: &WgaParams, hits: usize, tiles_used: u64) -> HitClamp {
+    let mut take = hits;
+    let mut events = Vec::new();
+    if let Some(limit) = params.budget.max_seed_hits {
+        if take as u64 > limit {
+            events.push(RunEvent::BudgetExceeded {
+                budget: BudgetKind::SeedHits,
+                stage: StageKind::Seeding,
+                limit,
+                observed: take as u64,
+            });
+            take = limit as usize;
+        }
+    }
+    if let Some(limit) = params.budget.max_filter_tiles {
+        // The tile budget spans both strands of the pair: only the tiles
+        // not yet consumed remain available to this strand.
+        let remaining = limit.saturating_sub(tiles_used);
+        if take as u64 > remaining {
+            events.push(RunEvent::BudgetExceeded {
+                budget: BudgetKind::FilterTiles,
+                stage: StageKind::Filtering,
+                limit,
+                observed: tiles_used + take as u64,
+            });
+            take = remaining as usize;
+        }
+    }
+    HitClamp { take, events }
+}
+
+/// Applies [`clamp_hit_count`] against a live [`WgaReport`], recording
+/// the tripped-budget events into it and returning the surviving prefix.
+///
+/// The serial and barrier-parallel drivers call this at the top of each
+/// strand's filter stage.
+pub fn clamp_hits<'h>(
+    params: &WgaParams,
+    hits: &'h [SeedHit],
+    report: &mut WgaReport,
+) -> &'h [SeedHit] {
+    let clamp = clamp_hit_count(params, hits.len(), report.workload.filter_tiles);
+    report.events.extend(clamp.events);
+    &hits[..clamp.take]
+}
+
+/// Builds the [`BudgetKind::Deadline`] event every executor records when
+/// the per-pair wall-clock deadline interrupts a stage.
+pub fn deadline_event(budget: &ResourceBudget, stage: StageKind, pair_start: Instant) -> RunEvent {
+    RunEvent::BudgetExceeded {
+        budget: BudgetKind::Deadline,
+        stage,
+        limit: budget.deadline.map_or(0, |d| d.as_millis() as u64),
+        observed: pair_start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResourceBudget;
+
+    fn params_with(budget: ResourceBudget) -> WgaParams {
+        WgaParams::darwin_wga().with_budget(budget)
+    }
+
+    #[test]
+    fn unbounded_budget_keeps_everything() {
+        let clamp = clamp_hit_count(&params_with(ResourceBudget::default()), 1000, 0);
+        assert_eq!(clamp.take, 1000);
+        assert!(clamp.events.is_empty());
+    }
+
+    #[test]
+    fn seed_hit_budget_truncates_and_records() {
+        let p = params_with(ResourceBudget {
+            max_seed_hits: Some(25),
+            ..ResourceBudget::default()
+        });
+        let clamp = clamp_hit_count(&p, 100, 0);
+        assert_eq!(clamp.take, 25);
+        assert_eq!(clamp.events.len(), 1);
+        assert!(matches!(
+            clamp.events[0],
+            RunEvent::BudgetExceeded {
+                budget: BudgetKind::SeedHits,
+                limit: 25,
+                observed: 100,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tile_budget_accounts_for_tiles_already_used() {
+        let p = params_with(ResourceBudget {
+            max_filter_tiles: Some(60),
+            ..ResourceBudget::default()
+        });
+        // First strand takes the full 40; second strand only gets 20.
+        let first = clamp_hit_count(&p, 40, 0);
+        assert_eq!(first.take, 40);
+        assert!(first.events.is_empty());
+        let second = clamp_hit_count(&p, 40, 40);
+        assert_eq!(second.take, 20);
+        assert!(matches!(
+            second.events[0],
+            RunEvent::BudgetExceeded {
+                budget: BudgetKind::FilterTiles,
+                limit: 60,
+                observed: 80,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn both_budgets_trip_in_order() {
+        let p = params_with(ResourceBudget {
+            max_seed_hits: Some(50),
+            max_filter_tiles: Some(30),
+            ..ResourceBudget::default()
+        });
+        let clamp = clamp_hit_count(&p, 100, 0);
+        assert_eq!(clamp.take, 30);
+        assert_eq!(clamp.events.len(), 2);
+        assert!(matches!(
+            clamp.events[0],
+            RunEvent::BudgetExceeded { budget: BudgetKind::SeedHits, .. }
+        ));
+        assert!(matches!(
+            clamp.events[1],
+            RunEvent::BudgetExceeded { budget: BudgetKind::FilterTiles, .. }
+        ));
+    }
+
+    #[test]
+    fn deadline_event_reports_limit_and_elapsed() {
+        let budget = ResourceBudget {
+            deadline: Some(std::time::Duration::from_millis(7)),
+            ..ResourceBudget::default()
+        };
+        let start = Instant::now() - std::time::Duration::from_millis(20);
+        match deadline_event(&budget, StageKind::Extension, start) {
+            RunEvent::BudgetExceeded {
+                budget: BudgetKind::Deadline,
+                stage: StageKind::Extension,
+                limit,
+                observed,
+            } => {
+                assert_eq!(limit, 7);
+                assert!(observed >= 20);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

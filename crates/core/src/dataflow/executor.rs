@@ -1,0 +1,766 @@
+//! The streaming executor: seeding producer → filter pool → extension
+//! pool over bounded queues.
+//!
+//! # Topology
+//!
+//! ```text
+//! producer ──filter_q──▶ filter workers ──extend_q──▶ extension workers ──done_q──▶ collector
+//! (1 thread)  (bounded)   (N threads)     (bounded)    (N threads)        (bounded)  (main thread)
+//! ```
+//!
+//! The producer walks chromosome pairs in canonical (target × query)
+//! order, builds each target row's seed table once, runs D-SOFT per
+//! strand, applies the shared budget clamp ([`crate::budget`]) and cuts
+//! the clamped hit list into fixed-size tile batches pushed into
+//! `filter_q`. Filter workers run batches through the pair's shared
+//! [`FilterContext`] and deposit results into the pair's cell; the
+//! worker that deposits a pair's last batch promotes the whole pair into
+//! `extend_q`. Extension workers run the sequential anchor-absorption
+//! stage per pair — a pair is one *stream*, so absorption state never
+//! crosses threads — and emit the finished [`WgaReport`] into `done_q`,
+//! where the collector journals it (the pair is the checkpoint unit,
+//! exactly as in the barrier executor).
+//!
+//! # Determinism
+//!
+//! Batches execute in arbitrary order but deposit into index-addressed
+//! slots; the extension stage reads them back in batch order, so anchors
+//! reach [`extend_anchors`] in hit order — the same order the barrier
+//! executor produces. The collector stores per-pair results by pair id
+//! and the final report is assembled in canonical pair order, making the
+//! output byte-identical to the barrier executor at any thread count
+//! (`tests/golden_report.rs` pins this).
+//!
+//! # Shutdown protocol (deadlock freedom)
+//!
+//! Queues form an acyclic chain, and each stage closes its *downstream*
+//! queue when it finishes: the producer closes `filter_q` when all pairs
+//! are planned; the last filter worker to exit closes `extend_q`; the
+//! last extension worker closes `done_q`, which ends the collector loop.
+//! The close-on-exit is a `Drop` guard, so even a worker panicking
+//! outside its `catch_unwind` layers still releases the downstream
+//! stages instead of deadlocking the scope.
+//!
+//! # Known divergence from the barrier executor
+//!
+//! The producer applies the filter-tile budget *statically* (the reverse
+//! strand's clamp assumes every planned forward tile executes). Absent a
+//! deadline or a double-panicked batch, planned == executed and the
+//! clamp is identical to the barrier's; under a mid-pair deadline or a
+//! failed batch with `max_filter_tiles` set on a both-strand run, the
+//! reverse strand may be clamped slightly tighter than the barrier
+//! executor would. Deadline runs are inherently timing-dependent, so no
+//! golden test covers that combination.
+
+use crate::budget::{clamp_hit_count, deadline_event};
+use crate::config::WgaParams;
+use crate::dataflow::metrics::{DataflowMetrics, StageMeter};
+use crate::dataflow::queue::BoundedQueue;
+use crate::error::{WgaError, WgaResult};
+use crate::filter_engine::FilterContext;
+use crate::genome_pipeline::{AlignOptions, AssemblyReport, LocatedAlignment};
+use crate::journal::{Journal, PairRecord};
+use crate::parallel::panic_message;
+use crate::report::{PairOutcome, RunEvent, RunOutcome, StageKind, Strand, WgaReport};
+use crate::stages::{extend_anchors, timed_seed_table};
+use genome::assembly::Assembly;
+use genome::Sequence;
+use parking_lot::Mutex;
+use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Seed hits per filter task. Small enough that a pair's tiles spread
+/// across the pool, large enough to amortise queue traffic and engine
+/// scratch reuse (the hardware streams tiles through its arrays in
+/// batches for the same reason).
+const FILTER_BATCH_TILES: usize = 64;
+
+/// A query strand's sequence: the forward strand borrows the assembly,
+/// the reverse strand owns its reverse complement behind an `Arc` shared
+/// by every task of the lane.
+#[derive(Clone)]
+enum StrandSeq<'a> {
+    Forward(&'a Sequence),
+    Reverse(Arc<Sequence>),
+}
+
+impl StrandSeq<'_> {
+    fn seq(&self) -> &Sequence {
+        match self {
+            StrandSeq::Forward(s) => s,
+            StrandSeq::Reverse(s) => s,
+        }
+    }
+}
+
+/// One (pair, strand) stream planned by the producer.
+struct Lane<'a> {
+    strand: Strand,
+    query: StrandSeq<'a>,
+    seeds_queried: u64,
+    raw_hits: u64,
+    /// D-SOFT wall-clock for this strand.
+    seed_time: Duration,
+    /// [`FilterContext`] build wall-clock (counted as filtering time,
+    /// matching the barrier executor's accounting).
+    ctx_time: Duration,
+    clamp_events: Vec<RunEvent>,
+    /// Filter results, index-addressed by batch; `deposited` counts how
+    /// many are in.
+    batches: Vec<Option<BatchResult>>,
+    deposited: usize,
+}
+
+/// All filter-stage state of one chromosome pair in flight.
+struct PairJob<'a> {
+    pair_id: usize,
+    pair_start: Instant,
+    target: &'a Sequence,
+    lanes: Vec<Lane<'a>>,
+}
+
+/// One batch of seed hits for the filter pool.
+struct FilterTask<'a> {
+    pair_id: usize,
+    lane_idx: usize,
+    batch_idx: usize,
+    hits: Vec<SeedHit>,
+    ctx: Arc<FilterContext>,
+    target: &'a Sequence,
+    query: StrandSeq<'a>,
+    pair_start: Instant,
+}
+
+/// What the filter pool reports for one batch.
+struct BatchResult {
+    /// Anchors in hit order within the batch.
+    anchors: Vec<Anchor>,
+    /// Hits actually filtered (< `items` when the deadline stopped the
+    /// batch early).
+    processed: u64,
+    /// Hits the batch carried.
+    items: u64,
+    /// Panic message when the batch failed twice (worker + serial retry).
+    failed: Option<String>,
+    /// Filter wall-clock of the batch.
+    busy: Duration,
+    /// DP cells evaluated.
+    cells: u64,
+}
+
+/// Terminal result of one pair, headed for the collector.
+struct PairDone {
+    pair_id: usize,
+    result: Result<WgaReport, String>,
+}
+
+/// Decrements the pool's live-worker count on drop and closes the
+/// downstream queue when this was the last worker — the stage-shutdown
+/// cascade survives even a panic that escapes a worker's `catch_unwind`.
+struct PoolGuard<'q, T> {
+    alive: &'q AtomicUsize,
+    downstream: &'q BoundedQueue<T>,
+}
+
+impl<T> Drop for PoolGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.downstream.close();
+        }
+    }
+}
+
+/// Runs the full assembly-vs-assembly alignment through the streaming
+/// executor. Called by [`crate::genome_pipeline::align_assemblies_with`]
+/// once parameters are validated and the journal (if any) is open.
+pub(crate) fn execute(
+    params: &WgaParams,
+    target: &Assembly,
+    query: &Assembly,
+    options: &AlignOptions,
+    mut journal: Option<Journal>,
+) -> WgaResult<AssemblyReport> {
+    let threads = options.threads;
+    let queue_depth = options.queue_depth;
+    let tchroms = target.chromosomes();
+    let qchroms = query.chromosomes();
+    let qn = qchroms.len();
+    let npairs = tchroms.len() * qn;
+
+    // Replay journaled pairs up front; the producer skips them entirely.
+    let mut resumed: Vec<Option<PairRecord>> = Vec::with_capacity(npairs);
+    for tchrom in tchroms {
+        for qchrom in qchroms {
+            resumed.push(
+                journal
+                    .as_mut()
+                    .and_then(|j| j.take(&tchrom.name, &qchrom.name)),
+            );
+        }
+    }
+    let resumed_flags: Vec<bool> = resumed.iter().map(Option::is_some).collect();
+
+    let filter_q: BoundedQueue<FilterTask<'_>> = BoundedQueue::new(queue_depth);
+    let extend_q: BoundedQueue<PairJob<'_>> = BoundedQueue::new(queue_depth);
+    let done_q: BoundedQueue<PairDone> = BoundedQueue::new(queue_depth);
+    let mut cells: Vec<Mutex<Option<PairJob<'_>>>> = Vec::with_capacity(npairs);
+    cells.resize_with(npairs, || Mutex::new(None));
+    let cells = &cells[..];
+
+    let seed_meter = StageMeter::default();
+    let filter_meter = StageMeter::default();
+    let ext_meter = StageMeter::default();
+    let table_build_ns = AtomicU64::new(0);
+    let filter_alive = AtomicUsize::new(threads);
+    let ext_alive = AtomicUsize::new(threads);
+
+    let scope_out = crossbeam::thread::scope(|scope| {
+        // --- Seeding producer ------------------------------------------
+        {
+            let (filter_q, extend_q, done_q) = (&filter_q, &extend_q, &done_q);
+            let (seed_meter, table_build_ns) = (&seed_meter, &table_build_ns);
+            let resumed_flags = &resumed_flags;
+            scope.spawn(move |_| {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    produce(
+                        params,
+                        tchroms,
+                        qchroms,
+                        resumed_flags,
+                        cells,
+                        filter_q,
+                        extend_q,
+                        done_q,
+                        seed_meter,
+                        table_build_ns,
+                    )
+                }));
+                // Whatever happened, release the filter pool.
+                filter_q.close();
+            });
+        }
+
+        // --- Filter worker pool ----------------------------------------
+        for _ in 0..threads {
+            let (filter_q, extend_q) = (&filter_q, &extend_q);
+            let (filter_meter, filter_alive) = (&filter_meter, &filter_alive);
+            scope.spawn(move |_| {
+                let _guard = PoolGuard {
+                    alive: filter_alive,
+                    downstream: extend_q,
+                };
+                loop {
+                    let wait = Instant::now();
+                    let Some(task) = filter_q.pop() else { break };
+                    filter_meter.add_idle(wait.elapsed());
+                    let busy = Instant::now();
+                    let result = run_filter_batch(params, &task);
+                    filter_meter.add_busy(busy.elapsed());
+                    filter_meter.add_items(result.processed);
+                    filter_meter.add_cells(result.cells);
+                    deposit(cells, extend_q, &task, result);
+                }
+            });
+        }
+
+        // --- Extension worker pool -------------------------------------
+        for _ in 0..threads {
+            let (extend_q, done_q) = (&extend_q, &done_q);
+            let (ext_meter, ext_alive) = (&ext_meter, &ext_alive);
+            scope.spawn(move |_| {
+                let _guard = PoolGuard {
+                    alive: ext_alive,
+                    downstream: done_q,
+                };
+                loop {
+                    let wait = Instant::now();
+                    let Some(job) = extend_q.pop() else { break };
+                    ext_meter.add_idle(wait.elapsed());
+                    let pair_id = job.pair_id;
+                    let busy = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| extend_pair(params, job)));
+                    ext_meter.add_busy(busy.elapsed());
+                    let done = match result {
+                        Ok(report) => {
+                            ext_meter.add_items(report.counters.anchors_passed);
+                            ext_meter.add_cells(report.workload.extension_cells);
+                            PairDone {
+                                pair_id,
+                                result: Ok(report),
+                            }
+                        }
+                        Err(payload) => PairDone {
+                            pair_id,
+                            result: Err(panic_message(payload.as_ref())),
+                        },
+                    };
+                    if done_q.push(done).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // --- Collector (this thread): journal + gather -----------------
+        let mut slots: Vec<Option<Result<WgaReport, String>>> = vec![None; npairs];
+        let mut journal_err: Option<WgaError> = None;
+        while let Some(done) = done_q.pop() {
+            if let Ok(report) = &done.result {
+                if journal_err.is_none() {
+                    if let Some(j) = journal.as_mut() {
+                        let (ti, qi) = (done.pair_id / qn, done.pair_id % qn);
+                        let append = j.append(&PairRecord {
+                            target_chrom: tchroms[ti].name.clone(),
+                            query_chrom: qchroms[qi].name.clone(),
+                            outcome: report.outcome(),
+                            workload: report.workload,
+                            timings: report.timings,
+                            alignments: report.alignments.clone(),
+                        });
+                        if let Err(e) = append {
+                            // The journal is broken: stop feeding the
+                            // pipeline, drain what's in flight, and
+                            // surface the error after the scope ends.
+                            journal_err = Some(e);
+                            filter_q.close();
+                            extend_q.close();
+                        }
+                    }
+                }
+            }
+            slots[done.pair_id] = Some(done.result);
+        }
+        (slots, journal_err)
+    });
+    let (mut slots, journal_err) = match scope_out {
+        Ok(v) => v,
+        // A panic escaped every containment layer — an executor bug, not
+        // a pair failure; surface it like the barrier executor would.
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+
+    if let Some(e) = journal_err {
+        return Err(e);
+    }
+
+    // --- Deterministic assembly in canonical pair order -----------------
+    let mut out = AssemblyReport::default();
+    out.timings.seeding += Duration::from_nanos(table_build_ns.load(Ordering::Relaxed));
+    for (pair_id, record) in resumed.iter_mut().enumerate() {
+        let (ti, qi) = (pair_id / qn, pair_id % qn);
+        let (tname, qname) = (&tchroms[ti].name, &qchroms[qi].name);
+        let outcome = if let Some(record) = record.take() {
+            out.resumed_pairs += 1;
+            out.workload.merge(&record.workload);
+            out.timings.merge(&record.timings);
+            out.alignments
+                .extend(record.alignments.into_iter().map(|aligned| LocatedAlignment {
+                    target_chrom: tname.clone(),
+                    query_chrom: qname.clone(),
+                    aligned,
+                }));
+            record.outcome
+        } else {
+            match slots[pair_id].take() {
+                Some(Ok(report)) => {
+                    let outcome = report.outcome();
+                    out.workload.merge(&report.workload);
+                    out.timings.merge(&report.timings);
+                    out.alignments
+                        .extend(report.alignments.into_iter().map(|aligned| LocatedAlignment {
+                            target_chrom: tname.clone(),
+                            query_chrom: qname.clone(),
+                            aligned,
+                        }));
+                    outcome
+                }
+                Some(Err(error)) => RunOutcome::Failed { error },
+                None => RunOutcome::Failed {
+                    error: "pair dropped: dataflow run aborted".to_string(),
+                },
+            }
+        };
+        out.pairs.push(PairOutcome {
+            target_chrom: tname.clone(),
+            query_chrom: qname.clone(),
+            outcome,
+        });
+    }
+    out.alignments
+        .sort_by_key(|a| std::cmp::Reverse(a.aligned.alignment.score));
+    out.stage_metrics = Some(DataflowMetrics {
+        threads,
+        queue_depth,
+        seeding: seed_meter.snapshot(1, 0),
+        filtering: filter_meter.snapshot(threads, filter_q.max_occupancy()),
+        extension: ext_meter.snapshot(threads, extend_q.max_occupancy()),
+    });
+    Ok(out)
+}
+
+/// The seeding producer: walks pairs canonically, plans both strands of
+/// each non-resumed pair under panic isolation, registers the pair's
+/// cell and feeds tile batches into `filter_q` (blocking on
+/// backpressure).
+#[allow(clippy::too_many_arguments)]
+fn produce<'a>(
+    params: &WgaParams,
+    tchroms: &'a [genome::assembly::Chromosome],
+    qchroms: &'a [genome::assembly::Chromosome],
+    resumed_flags: &[bool],
+    cells: &[Mutex<Option<PairJob<'a>>>],
+    filter_q: &BoundedQueue<FilterTask<'a>>,
+    extend_q: &BoundedQueue<PairJob<'a>>,
+    done_q: &BoundedQueue<PairDone>,
+    seed_meter: &StageMeter,
+    table_build_ns: &AtomicU64,
+) {
+    let qn = qchroms.len();
+    for (ti, tchrom) in tchroms.iter().enumerate() {
+        // Built lazily so a fully-journaled target row skips the build.
+        let mut table: Option<SeedTable> = None;
+        let mut table_failed: Option<String> = None;
+        for (qi, qchrom) in qchroms.iter().enumerate() {
+            let pair_id = ti * qn + qi;
+            if resumed_flags[pair_id] {
+                continue;
+            }
+
+            if table.is_none() && table_failed.is_none() {
+                let busy = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| timed_seed_table(params, &tchrom.sequence)))
+                {
+                    Ok((built, build_time)) => {
+                        table = Some(built);
+                        table_build_ns.fetch_add(build_time.as_nanos() as u64, Ordering::Relaxed);
+                        seed_meter.add_busy(busy.elapsed());
+                    }
+                    Err(payload) => {
+                        table_failed = Some(panic_message(payload.as_ref()));
+                    }
+                }
+            }
+
+            if let Some(message) = &table_failed {
+                let done = PairDone {
+                    pair_id,
+                    result: Err(format!("seed table build panicked: {message}")),
+                };
+                if done_q.push(done).is_err() {
+                    return;
+                }
+                continue;
+            }
+            let table = table.as_ref().expect("table built or failed above");
+
+            let pair_start = Instant::now();
+            let busy = Instant::now();
+            let planned = catch_unwind(AssertUnwindSafe(|| {
+                plan_pair(params, table, &tchrom.sequence, &qchrom.sequence, seed_meter)
+            }));
+            seed_meter.add_busy(busy.elapsed());
+            let lanes = match planned {
+                Ok(lanes) => lanes,
+                Err(payload) => {
+                    let done = PairDone {
+                        pair_id,
+                        result: Err(panic_message(payload.as_ref())),
+                    };
+                    if done_q.push(done).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+
+            // Materialise the job and its tasks *before* registration, so
+            // a worker depositing the last batch always finds complete
+            // batch counts.
+            let mut tasks: Vec<FilterTask<'a>> = Vec::new();
+            let mut job_lanes: Vec<Lane<'a>> = Vec::with_capacity(lanes.len());
+            for (lane_idx, lane) in lanes.into_iter().enumerate() {
+                let batch_count = lane.hits.len().div_ceil(FILTER_BATCH_TILES);
+                for (batch_idx, chunk) in lane.hits.chunks(FILTER_BATCH_TILES).enumerate() {
+                    tasks.push(FilterTask {
+                        pair_id,
+                        lane_idx,
+                        batch_idx,
+                        hits: chunk.to_vec(),
+                        ctx: Arc::clone(&lane.ctx),
+                        target: &tchrom.sequence,
+                        query: lane.query.clone(),
+                        pair_start,
+                    });
+                }
+                let mut batches = Vec::new();
+                batches.resize_with(batch_count, || None);
+                job_lanes.push(Lane {
+                    strand: lane.strand,
+                    query: lane.query,
+                    seeds_queried: lane.seeds_queried,
+                    raw_hits: lane.raw_hits,
+                    seed_time: lane.seed_time,
+                    ctx_time: lane.ctx_time,
+                    clamp_events: lane.clamp_events,
+                    batches,
+                    deposited: 0,
+                });
+            }
+            let job = PairJob {
+                pair_id,
+                pair_start,
+                target: &tchrom.sequence,
+                lanes: job_lanes,
+            };
+            if tasks.is_empty() {
+                // No hits anywhere: nothing for the filter pool, hand the
+                // pair straight to extension (it still carries seeding
+                // counters and clamp events).
+                if extend_q.push(job).is_err() {
+                    return;
+                }
+                continue;
+            }
+            *cells[pair_id].lock() = Some(job);
+            for task in tasks {
+                let wait = Instant::now();
+                if filter_q.push(task).is_err() {
+                    return; // shutdown in progress (journal failure)
+                }
+                seed_meter.add_idle(wait.elapsed());
+            }
+        }
+    }
+}
+
+/// A planned (pair, strand) stream before task slicing.
+struct PlannedLane<'a> {
+    strand: Strand,
+    query: StrandSeq<'a>,
+    ctx: Arc<FilterContext>,
+    hits: Vec<SeedHit>,
+    seeds_queried: u64,
+    raw_hits: u64,
+    seed_time: Duration,
+    ctx_time: Duration,
+    clamp_events: Vec<RunEvent>,
+}
+
+/// Seeds and clamps both strands of one pair. The reverse strand's tile
+/// clamp charges the forward strand's *planned* tiles (see module docs
+/// for the single divergence this implies).
+fn plan_pair<'a>(
+    params: &WgaParams,
+    table: &SeedTable,
+    target: &'a Sequence,
+    query: &'a Sequence,
+    seed_meter: &StageMeter,
+) -> Vec<PlannedLane<'a>> {
+    let mut lanes = Vec::with_capacity(if params.both_strands { 2 } else { 1 });
+    let fwd = plan_lane(
+        params,
+        table,
+        target,
+        StrandSeq::Forward(query),
+        Strand::Forward,
+        0,
+        seed_meter,
+    );
+    let fwd_tiles = fwd.hits.len() as u64;
+    lanes.push(fwd);
+    if params.both_strands {
+        let rc = Arc::new(query.reverse_complement());
+        lanes.push(plan_lane(
+            params,
+            table,
+            target,
+            StrandSeq::Reverse(rc),
+            Strand::Reverse,
+            fwd_tiles,
+            seed_meter,
+        ));
+    }
+    lanes
+}
+
+fn plan_lane<'a>(
+    params: &WgaParams,
+    table: &SeedTable,
+    target: &'a Sequence,
+    query: StrandSeq<'a>,
+    strand: Strand,
+    tiles_planned: u64,
+    seed_meter: &StageMeter,
+) -> PlannedLane<'a> {
+    let seed_start = Instant::now();
+    let seeding = dsoft_seeds(table, query.seq(), &params.dsoft);
+    let seed_time = seed_start.elapsed();
+    let clamp = clamp_hit_count(params, seeding.hits.len(), tiles_planned);
+    let mut hits = seeding.hits;
+    hits.truncate(clamp.take);
+    seed_meter.add_items(hits.len() as u64);
+    seed_meter.add_cells(seeding.seeds_queried);
+    let ctx_start = Instant::now();
+    let ctx = Arc::new(FilterContext::new(params, target, query.seq()));
+    PlannedLane {
+        strand,
+        query,
+        ctx,
+        hits,
+        seeds_queried: seeding.seeds_queried,
+        raw_hits: seeding.raw_hits,
+        seed_time,
+        ctx_time: ctx_start.elapsed(),
+        clamp_events: clamp.events,
+    }
+}
+
+/// Runs one batch with the same containment as the barrier driver: the
+/// batch executes under `catch_unwind`, a panicked batch gets one serial
+/// retry, and a second panic yields a failed result (recorded later as
+/// [`RunEvent::BatchFailed`]) instead of killing the pair.
+fn run_filter_batch(params: &WgaParams, task: &FilterTask<'_>) -> BatchResult {
+    match try_filter_batch(params, task) {
+        Ok(result) => result,
+        Err(_first) => match try_filter_batch(params, task) {
+            Ok(result) => result,
+            Err(message) => BatchResult {
+                anchors: Vec::new(),
+                processed: 0,
+                items: task.hits.len() as u64,
+                failed: Some(message),
+                busy: Duration::ZERO,
+                cells: 0,
+            },
+        },
+    }
+}
+
+fn try_filter_batch(params: &WgaParams, task: &FilterTask<'_>) -> Result<BatchResult, String> {
+    let start = Instant::now();
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut engine = task.ctx.engine();
+        let mut anchors = Vec::new();
+        let mut processed = 0u64;
+        let mut cells = 0u64;
+        for &hit in &task.hits {
+            if params.budget.deadline_exceeded(task.pair_start) {
+                break;
+            }
+            #[cfg(test)]
+            poison_check(hit);
+            let outcome = engine.filter_hit(params, task.target, task.query.seq(), hit);
+            cells += outcome.cells;
+            if let Some(anchor) = outcome.anchor {
+                anchors.push(anchor);
+            }
+            processed += 1;
+        }
+        BatchResult {
+            anchors,
+            processed,
+            items: task.hits.len() as u64,
+            failed: None,
+            busy: start.elapsed(),
+            cells,
+        }
+    }))
+    .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// Test-only fault injection, mirroring the barrier driver's: a hit at
+/// `usize::MAX` (unreachable from real seeding) panics in the worker.
+#[cfg(test)]
+fn poison_check(hit: SeedHit) {
+    if hit.target_pos == usize::MAX {
+        panic!("poisoned filter hit");
+    }
+}
+
+/// Files one batch result into its pair's cell; the worker that
+/// completes the pair's last outstanding batch promotes the job to the
+/// extension queue.
+fn deposit<'a>(
+    cells: &[Mutex<Option<PairJob<'a>>>],
+    extend_q: &BoundedQueue<PairJob<'a>>,
+    task: &FilterTask<'a>,
+    result: BatchResult,
+) {
+    let mut slot = cells[task.pair_id].lock();
+    let Some(job) = slot.as_mut() else {
+        return; // pair was cancelled by a shutdown
+    };
+    let lane = &mut job.lanes[task.lane_idx];
+    lane.batches[task.batch_idx] = Some(result);
+    lane.deposited += 1;
+    let complete = job.lanes.iter().all(|l| l.deposited == l.batches.len());
+    if complete {
+        let job = slot.take().expect("job present: just deposited into it");
+        drop(slot);
+        // Err only while a shutdown is racing us; the pair is then
+        // reported as dropped by the final assembly.
+        let _ = extend_q.push(job);
+    }
+}
+
+/// The extension stage of one pair: reassembles each lane's anchors in
+/// hit order from the deposited batches, replays the barrier executor's
+/// event/counter accounting, and runs the sequential anchor-absorption
+/// extension per lane.
+fn extend_pair(params: &WgaParams, mut job: PairJob<'_>) -> WgaReport {
+    let mut report = WgaReport::default();
+    let target = job.target;
+    for lane in &mut job.lanes {
+        report.timings.seeding += lane.seed_time;
+        report.workload.seeds += lane.seeds_queried;
+        report.counters.raw_seed_hits += lane.raw_hits;
+        report.events.append(&mut lane.clamp_events);
+
+        let mut anchors: Vec<Anchor> = Vec::new();
+        let mut deadline_hit = false;
+        let mut filter_time = lane.ctx_time;
+        for (idx, slot) in lane.batches.iter_mut().enumerate() {
+            let batch = slot.take().expect("every batch deposited before dispatch");
+            match batch.failed {
+                Some(message) => report.events.push(RunEvent::BatchFailed {
+                    stage: StageKind::Filtering,
+                    batch: idx,
+                    items: batch.items,
+                    message,
+                }),
+                None => {
+                    report.workload.filter_tiles += batch.processed;
+                    report.counters.hits_filtered += batch.processed;
+                    if batch.processed < batch.items {
+                        deadline_hit = true;
+                    }
+                    filter_time += batch.busy;
+                    anchors.extend(batch.anchors);
+                }
+            }
+        }
+        if deadline_hit {
+            report
+                .events
+                .push(deadline_event(&params.budget, StageKind::Filtering, job.pair_start));
+        }
+        report.timings.filtering += filter_time;
+        report.counters.anchors_passed += anchors.len() as u64;
+        extend_anchors(
+            params,
+            target,
+            lane.query.seq(),
+            lane.strand,
+            anchors,
+            job.pair_start,
+            &mut report,
+        );
+    }
+    report
+        .alignments
+        .sort_by_key(|a| std::cmp::Reverse(a.alignment.score));
+    report
+}

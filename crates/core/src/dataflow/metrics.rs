@@ -1,0 +1,195 @@
+//! Per-stage telemetry of the dataflow executor.
+//!
+//! The hardware paper evaluates its decoupled arrays by occupancy and
+//! throughput per stage; this module is the software equivalent: each
+//! worker pool accumulates items/cells processed and busy/idle time into
+//! lock-free counters, snapshotted into a [`DataflowMetrics`] at the end
+//! of the run and optionally written as JSON (`--metrics-out`).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live accumulator one worker pool writes into (relaxed atomics — the
+/// counters are telemetry, not synchronisation).
+#[derive(Debug, Default)]
+pub(crate) struct StageMeter {
+    items: AtomicU64,
+    cells: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+impl StageMeter {
+    pub(crate) fn add_items(&self, n: u64) {
+        self.items.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_cells(&self, n: u64) {
+        self.cells.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_busy(&self, d: Duration) {
+        self.busy_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_idle(&self, d: Duration) {
+        self.idle_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Freezes the counters into a snapshot.
+    pub(crate) fn snapshot(&self, workers: usize, max_queue_occupancy: usize) -> StageMetrics {
+        StageMetrics {
+            workers,
+            items: self.items.load(Ordering::Relaxed),
+            cells: self.cells.load(Ordering::Relaxed),
+            busy_us: self.busy_ns.load(Ordering::Relaxed) / 1_000,
+            idle_us: self.idle_ns.load(Ordering::Relaxed) / 1_000,
+            max_queue_occupancy: max_queue_occupancy as u64,
+        }
+    }
+}
+
+/// Snapshot of one stage's telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Threads in the stage's worker pool (1 for the seeding producer).
+    pub workers: usize,
+    /// Work items processed: tiles planned (seeding), tiles filtered
+    /// (filtering), anchors extended-or-absorbed (extension).
+    pub items: u64,
+    /// DP cells evaluated (seed positions queried, for seeding).
+    pub cells: u64,
+    /// Cumulative time workers spent doing work, microseconds.
+    pub busy_us: u64,
+    /// Cumulative time workers spent blocked on their input queue,
+    /// microseconds.
+    pub idle_us: u64,
+    /// High-water mark of the stage's *input* queue (0 for seeding,
+    /// which has no input queue).
+    pub max_queue_occupancy: u64,
+}
+
+/// Whole-run telemetry of one dataflow execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataflowMetrics {
+    /// Worker threads per pool.
+    pub threads: usize,
+    /// Configured bounded-queue capacity.
+    pub queue_depth: usize,
+    /// Seeding producer telemetry.
+    pub seeding: StageMetrics,
+    /// Filter worker pool telemetry.
+    pub filtering: StageMetrics,
+    /// Extension worker pool telemetry.
+    pub extension: StageMetrics,
+}
+
+impl DataflowMetrics {
+    /// Renders the metrics as a stable, integer-only JSON document
+    /// (the `--metrics-out` payload). Integer-only keeps the schema
+    /// diffable and platform-independent, like the bench JSON files.
+    pub fn to_json(&self) -> String {
+        fn stage(s: &StageMetrics) -> String {
+            format!(
+                "{{\"workers\":{},\"items\":{},\"cells\":{},\"busy_us\":{},\"idle_us\":{},\"max_queue_occupancy\":{}}}",
+                s.workers, s.items, s.cells, s.busy_us, s.idle_us, s.max_queue_occupancy
+            )
+        }
+        format!(
+            "{{\"threads\":{},\"queue_depth\":{},\"seeding\":{},\"filtering\":{},\"extension\":{}}}",
+            self.threads,
+            self.queue_depth,
+            stage(&self.seeding),
+            stage(&self.filtering),
+            stage(&self.extension)
+        )
+    }
+
+    /// One-line human summary for CLI output.
+    pub fn summary(&self) -> String {
+        fn line(name: &str, s: &StageMetrics) -> String {
+            let busy = s.busy_us as f64 / 1_000.0;
+            let idle = s.idle_us as f64 / 1_000.0;
+            format!(
+                "  {name:<10} workers={} items={} cells={} busy={busy:.1}ms idle={idle:.1}ms peak-queue={}",
+                s.workers, s.items, s.cells, s.max_queue_occupancy
+            )
+        }
+        format!(
+            "dataflow stages (threads={}, queue-depth={}):\n{}\n{}\n{}",
+            self.threads,
+            self.queue_depth,
+            line("seeding", &self.seeding),
+            line("filtering", &self.filtering),
+            line("extension", &self.extension)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_and_snapshots() {
+        let m = StageMeter::default();
+        m.add_items(3);
+        m.add_items(4);
+        m.add_cells(100);
+        m.add_busy(Duration::from_micros(1500));
+        m.add_idle(Duration::from_micros(250));
+        let s = m.snapshot(4, 7);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.items, 7);
+        assert_eq!(s.cells, 100);
+        assert_eq!(s.busy_us, 1500);
+        assert_eq!(s.idle_us, 250);
+        assert_eq!(s.max_queue_occupancy, 7);
+    }
+
+    #[test]
+    fn json_is_integer_only_and_parses() {
+        let metrics = DataflowMetrics {
+            threads: 8,
+            queue_depth: 64,
+            seeding: StageMetrics {
+                workers: 1,
+                items: 10,
+                cells: 1000,
+                busy_us: 5,
+                idle_us: 0,
+                max_queue_occupancy: 0,
+            },
+            ..DataflowMetrics::default()
+        };
+        let json = metrics.to_json();
+        assert!(!json.contains('.'), "integer-only: {json}");
+        let value = crate::journal::json::parse(&json).unwrap();
+        assert_eq!(value.get("threads").and_then(|v| v.as_int()), Some(8));
+        assert_eq!(
+            value
+                .get("seeding")
+                .and_then(|s| s.get("cells"))
+                .and_then(|v| v.as_int()),
+            Some(1000)
+        );
+        for key in ["seeding", "filtering", "extension"] {
+            let stage = value.get(key).unwrap();
+            for field in [
+                "workers",
+                "items",
+                "cells",
+                "busy_us",
+                "idle_us",
+                "max_queue_occupancy",
+            ] {
+                assert!(
+                    stage.get(field).and_then(|v| v.as_int()).is_some(),
+                    "{key}.{field}"
+                );
+            }
+        }
+        assert!(metrics.summary().contains("dataflow stages"));
+    }
+}

@@ -23,9 +23,11 @@
 //! byte-identical across engines and thread counts.
 
 use crate::config::WgaParams;
+use crate::dataflow::{DataflowMetrics, ExecutorKind, DEFAULT_QUEUE_DEPTH};
 use crate::error::{WgaError, WgaResult};
 use crate::journal::{params_fingerprint, Journal, PairRecord};
 use crate::report::{PairOutcome, RunOutcome, StageTimings, Strand, WgaAlignment, WgaReport};
+use crate::stages::timed_seed_table;
 use genome::assembly::Assembly;
 use genome::Sequence;
 use hwsim::Workload;
@@ -33,7 +35,6 @@ use seed::SeedTable;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// One alignment located on a chromosome pair.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,11 +51,20 @@ pub struct LocatedAlignment {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlignOptions {
     /// Worker threads for the filter stage of each pair (`1` = serial).
+    /// The dataflow executor uses this as the size of *each* of its
+    /// filter and extension worker pools.
     pub threads: usize,
     /// Checkpoint journal path. When set, completed pairs are made
     /// durable as they finish and a rerun with the same parameters skips
     /// them (see [`crate::journal`]).
     pub checkpoint: Option<PathBuf>,
+    /// Which execution engine drives the run: the stage-barrier driver
+    /// (default) or the streaming dataflow executor
+    /// (see [`crate::dataflow`]). Results are byte-identical either way.
+    pub executor: ExecutorKind,
+    /// Bounded-queue capacity of the dataflow executor's inter-stage
+    /// queues (ignored by the barrier executor). Must be at least 1.
+    pub queue_depth: usize,
 }
 
 impl Default for AlignOptions {
@@ -62,6 +72,8 @@ impl Default for AlignOptions {
         AlignOptions {
             threads: 1,
             checkpoint: None,
+            executor: ExecutorKind::Barrier,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         }
     }
 }
@@ -81,6 +93,11 @@ pub struct AssemblyReport {
     /// Pairs replayed from the checkpoint journal instead of recomputed.
     #[serde(default)]
     pub resumed_pairs: u64,
+    /// Per-stage telemetry of the dataflow executor (`None` for barrier
+    /// runs). Excluded from [`AssemblyReport::canonical_text`], like
+    /// timings: telemetry varies run to run, results do not.
+    #[serde(default)]
+    pub stage_metrics: Option<DataflowMetrics>,
 }
 
 impl AssemblyReport {
@@ -221,10 +238,17 @@ pub fn align_assemblies_with(
     if options.threads == 0 {
         return Err(WgaError::config("threads must be at least 1"));
     }
+    if options.executor == ExecutorKind::Dataflow && options.queue_depth == 0 {
+        return Err(WgaError::config("queue depth must be at least 1"));
+    }
     let mut journal = match &options.checkpoint {
         Some(path) => Some(Journal::open(path, &params_fingerprint(params))?),
         None => None,
     };
+
+    if options.executor == ExecutorKind::Dataflow {
+        return crate::dataflow::execute(params, target, query, options, journal);
+    }
 
     let mut out = AssemblyReport::default();
     for tchrom in target.chromosomes() {
@@ -255,17 +279,11 @@ pub fn align_assemblies_with(
             }
 
             if table.is_none() && table_failed.is_none() {
-                let table_start = Instant::now();
-                match catch_unwind(AssertUnwindSafe(|| {
-                    SeedTable::build(
-                        &tchrom.sequence,
-                        &params.seed_pattern,
-                        params.max_seed_occurrences,
-                    )
-                })) {
-                    Ok(built) => {
+                match catch_unwind(AssertUnwindSafe(|| timed_seed_table(params, &tchrom.sequence)))
+                {
+                    Ok((built, build_time)) => {
                         table = Some(built);
-                        out.timings.seeding += table_start.elapsed();
+                        out.timings.seeding += build_time;
                     }
                     Err(payload) => {
                         table_failed = Some(crate::parallel::panic_message(payload.as_ref()));
@@ -427,7 +445,7 @@ mod tests {
             &query,
             &AlignOptions {
                 threads: 0,
-                checkpoint: None,
+                ..AlignOptions::default()
             },
         )
         .unwrap_err();
@@ -459,7 +477,7 @@ mod tests {
             &query,
             &AlignOptions {
                 threads: 3,
-                checkpoint: None,
+                ..AlignOptions::default()
             },
         )
         .unwrap();
@@ -478,6 +496,7 @@ mod tests {
         let opts = AlignOptions {
             threads: 1,
             checkpoint: Some(path.clone()),
+            ..AlignOptions::default()
         };
         let first = align_assemblies_with(&params, &target, &query, &opts).unwrap();
         assert_eq!(first.resumed_pairs, 0);

@@ -36,7 +36,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod absorb;
+pub mod budget;
 pub mod config;
+pub mod dataflow;
 pub mod error;
 pub mod filter_engine;
 pub mod genome_pipeline;

@@ -19,11 +19,12 @@
 //! truncation rules as the serial pipeline, so budget-capped parallel
 //! runs stay deterministic.
 
+use crate::budget::{clamp_hits, deadline_event};
 use crate::config::WgaParams;
 use crate::filter_engine::FilterContext;
-use crate::pipeline::{clamp_hits, WgaPipeline};
-use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaReport};
-use crate::stages::extend_anchors;
+use crate::pipeline::WgaPipeline;
+use crate::report::{RunEvent, StageKind, Strand, WgaReport};
+use crate::stages::{extend_anchors, timed_seed_table};
 use genome::Sequence;
 use parking_lot::Mutex;
 use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
@@ -50,10 +51,9 @@ pub fn run_parallel(
         return WgaPipeline::new(params.clone()).run(target, query);
     }
 
-    let seed_start = Instant::now();
-    let table = SeedTable::build(target, &params.seed_pattern, params.max_seed_occurrences);
+    let (table, build_time) = timed_seed_table(params, target);
     let mut report = run_with_table_parallel(params, &table, target, query, threads);
-    report.timings.seeding += seed_start.elapsed();
+    report.timings.seeding += build_time;
     report
 }
 
@@ -226,12 +226,8 @@ fn filter_hits_parallel(
         }
     }
     if deadline_hit {
-        out.events.push(RunEvent::BudgetExceeded {
-            budget: BudgetKind::Deadline,
-            stage: StageKind::Filtering,
-            limit: params.budget.deadline.map_or(0, |d| d.as_millis() as u64),
-            observed: pair_start.elapsed().as_millis() as u64,
-        });
+        out.events
+            .push(deadline_event(&params.budget, StageKind::Filtering, pair_start));
     }
     out
 }

@@ -7,13 +7,14 @@
 //! Y-drop), matching the paper's design where only the middle stage
 //! changes between the compared systems.
 
+use crate::budget::{clamp_hits, deadline_event};
 use crate::config::WgaParams;
 use crate::error::WgaResult;
 use crate::filter_engine::FilterContext;
-use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaReport};
-use crate::stages::extend_anchors;
+use crate::report::{StageKind, Strand, WgaReport};
+use crate::stages::{extend_anchors, timed_seed_table};
 use genome::Sequence;
-use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
+use seed::{dsoft_seeds, Anchor, SeedTable};
 use std::time::Instant;
 
 /// A configured whole-genome-alignment pipeline.
@@ -68,14 +69,9 @@ impl WgaPipeline {
 
     /// Runs the full pipeline on one target/query pair.
     pub fn run(&self, target: &Sequence, query: &Sequence) -> WgaReport {
-        let seed_start = Instant::now();
-        let table = SeedTable::build(
-            target,
-            &self.params.seed_pattern,
-            self.params.max_seed_occurrences,
-        );
+        let (table, build_time) = timed_seed_table(&self.params, target);
         let mut report = self.run_with_table(&table, target, query);
-        report.timings.seeding += seed_start.elapsed();
+        report.timings.seeding += build_time;
         report
     }
 
@@ -131,12 +127,9 @@ impl WgaPipeline {
         let mut anchors: Vec<Anchor> = Vec::new();
         for &hit in hits {
             if params.budget.deadline_exceeded(pair_start) {
-                report.events.push(RunEvent::BudgetExceeded {
-                    budget: BudgetKind::Deadline,
-                    stage: StageKind::Filtering,
-                    limit: params.budget.deadline.map_or(0, |d| d.as_millis() as u64),
-                    observed: pair_start.elapsed().as_millis() as u64,
-                });
+                report
+                    .events
+                    .push(deadline_event(&params.budget, StageKind::Filtering, pair_start));
                 break;
             }
             let outcome = engine.filter_hit(params, target, query, hit);
@@ -152,44 +145,6 @@ impl WgaPipeline {
         // --- Extension ---------------------------------------------------
         extend_anchors(params, target, query, strand, anchors, pair_start, report);
     }
-}
-
-/// Applies the seed-hit and filter-tile budgets by truncating the hit
-/// list deterministically (hits arrive sorted by position), recording an
-/// event per tripped budget. Shared with the parallel driver so serial
-/// and parallel runs degrade identically.
-pub(crate) fn clamp_hits<'h>(
-    params: &WgaParams,
-    hits: &'h [SeedHit],
-    report: &mut WgaReport,
-) -> &'h [SeedHit] {
-    let mut hits = hits;
-    if let Some(limit) = params.budget.max_seed_hits {
-        if hits.len() as u64 > limit {
-            report.events.push(RunEvent::BudgetExceeded {
-                budget: BudgetKind::SeedHits,
-                stage: StageKind::Seeding,
-                limit,
-                observed: hits.len() as u64,
-            });
-            hits = &hits[..limit as usize];
-        }
-    }
-    if let Some(limit) = params.budget.max_filter_tiles {
-        // The tile budget spans both strands of the pair: only the tiles
-        // not yet consumed remain available to this strand.
-        let remaining = limit.saturating_sub(report.workload.filter_tiles);
-        if hits.len() as u64 > remaining {
-            report.events.push(RunEvent::BudgetExceeded {
-                budget: BudgetKind::FilterTiles,
-                stage: StageKind::Filtering,
-                limit,
-                observed: report.workload.filter_tiles + hits.len() as u64,
-            });
-            hits = &hits[..remaining as usize];
-        }
-    }
-    hits
 }
 
 #[cfg(test)]

@@ -1,14 +1,29 @@
 //! Stage implementations: filtering and extension dispatch.
 
 use crate::absorb::{merge_into_kept, AbsorptionGrid};
+use crate::budget::deadline_event;
 use crate::config::{ExtensionStage, FilterStage, GappedFilterParams, WgaParams};
 use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaAlignment, WgaReport};
 use align::banded::{banded_smith_waterman, tile_around, BandedOutcome};
 use align::gactx::{self, ExtendedAlignment, TilingParams};
 use align::ungapped::ungapped_extend;
 use genome::Sequence;
-use seed::{Anchor, SeedHit};
-use std::time::Instant;
+use seed::{Anchor, SeedHit, SeedTable};
+use std::time::{Duration, Instant};
+
+/// Builds the seed table for `target`, returning it with the wall-clock
+/// the build took.
+///
+/// Every driver (serial, barrier-parallel, dataflow, assembly) times the
+/// table build through this one helper and adds only the returned
+/// duration to `timings.seeding` — measuring it around a larger span
+/// (the old pattern) silently folded filtering and extension time into
+/// the seeding figure.
+pub(crate) fn timed_seed_table(params: &WgaParams, target: &Sequence) -> (SeedTable, Duration) {
+    let start = Instant::now();
+    let table = SeedTable::build(target, &params.seed_pattern, params.max_seed_occurrences);
+    (table, start.elapsed())
+}
 
 /// Result of filtering one seed hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,12 +182,9 @@ pub(crate) fn extend_anchors(
             }
         }
         if params.budget.deadline_exceeded(pair_start) {
-            report.events.push(RunEvent::BudgetExceeded {
-                budget: BudgetKind::Deadline,
-                stage: StageKind::Extension,
-                limit: params.budget.deadline.map_or(0, |d| d.as_millis() as u64),
-                observed: pair_start.elapsed().as_millis() as u64,
-            });
+            report
+                .events
+                .push(deadline_event(&params.budget, StageKind::Extension, pair_start));
             break;
         }
         if grid.covers(anchor.target_pos, anchor.query_pos) {

@@ -7,19 +7,26 @@
 //!     conserved elements.
 //!
 //! wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
+//!           [--executor barrier|dataflow] [--queue-depth N]
+//!           [--metrics-out metrics.json]
 //!           [--filter-engine scalar|batched] [--checkpoint run.journal]
 //!           [--max-seed-hits N] [--max-filter-tiles N]
 //!           [--max-extension-cells N] [--deadline-ms N]
 //!     Align query to target with Darwin-WGA (or the LASTZ-like baseline
 //!     with --baseline); print a run summary and the top chains; write
 //!     MAF if requested. --threads parallelises the filter stage of each
-//!     chromosome pair. --filter-engine picks the BSW implementation for
-//!     gapped filtering (default `batched`, the wavefront engine; results
-//!     are identical either way). --checkpoint makes completed pairs
-//!     durable in a journal so an interrupted run resumes where it left
-//!     off. The --max-*/--deadline-ms budgets bound work per pair; a
-//!     tripped budget degrades the run (truncating the worst-scoring
-//!     work first) instead of aborting it.
+//!     chromosome pair. --executor picks the execution engine: `barrier`
+//!     (default) fans out only the filter stage; `dataflow` streams
+//!     seeding, filtering and extension concurrently through bounded
+//!     queues of capacity --queue-depth (results are byte-identical
+//!     either way). --metrics-out writes the dataflow executor's
+//!     per-stage telemetry as JSON. --filter-engine picks the BSW
+//!     implementation for gapped filtering (default `batched`, the
+//!     wavefront engine; results are identical either way). --checkpoint
+//!     makes completed pairs durable in a journal so an interrupted run
+//!     resumes where it left off. The --max-*/--deadline-ms budgets
+//!     bound work per pair; a tripped budget degrades the run
+//!     (truncating the worst-scoring work first) instead of aborting it.
 //!
 //! wga exons <alignments.maf> <exons.tsv> [--coverage F]
 //!     Score exon recovery: which intervals from a `wga generate`
@@ -28,6 +35,7 @@
 
 use darwin_wga::chain::chainer::chain_alignments;
 use darwin_wga::chain::metrics;
+use darwin_wga::core::dataflow::{ExecutorKind, DEFAULT_QUEUE_DEPTH};
 use darwin_wga::core::genome_pipeline::{align_assemblies_with, AlignOptions};
 use darwin_wga::core::report::RunOutcome;
 use darwin_wga::core::{config::WgaParams, maf};
@@ -64,6 +72,8 @@ const USAGE: &str = "\
 usage:
   wga generate <prefix> [--len N] [--distance D] [--seed S]
   wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
+            [--executor barrier|dataflow] [--queue-depth N]
+            [--metrics-out metrics.json]
             [--filter-engine scalar|batched] [--checkpoint run.journal]
             [--max-seed-hits N] [--max-filter-tiles N]
             [--max-extension-cells N] [--deadline-ms N]
@@ -253,6 +263,9 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let baseline = take_flag(&mut args, "--baseline");
     let threads: usize = parse_opt(&mut args, "--threads", 1)?;
+    let executor: ExecutorKind = parse_opt(&mut args, "--executor", ExecutorKind::Barrier)?;
+    let queue_depth: usize = parse_opt(&mut args, "--queue-depth", DEFAULT_QUEUE_DEPTH)?;
+    let metrics_out = take_opt(&mut args, "--metrics-out")?;
     let maf_path = take_opt(&mut args, "--maf")?;
     let filter_engine = take_opt(&mut args, "--filter-engine")?;
     let checkpoint = take_opt(&mut args, "--checkpoint")?;
@@ -287,9 +300,14 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     params.budget.deadline = parse_u64("--deadline-ms", deadline_ms)?
         .map(std::time::Duration::from_millis);
     params.validate().map_err(|e| e.to_string())?;
+    if metrics_out.is_some() && executor != ExecutorKind::Dataflow {
+        return Err("--metrics-out requires --executor dataflow".into());
+    }
     let options = AlignOptions {
         threads,
         checkpoint: checkpoint.map(std::path::PathBuf::from),
+        executor,
+        queue_depth,
     };
     eprintln!(
         "aligning {} ({} chromosomes, {} bp) vs {} ({} chromosomes, {} bp) with {}...",
@@ -321,6 +339,14 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
         report.failed_pairs(),
         report.resumed_pairs
     );
+    if let Some(metrics) = &report.stage_metrics {
+        println!("{}", metrics.summary());
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, format!("{}\n", metrics.to_json()))
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("stage metrics written to {path}");
+        }
+    }
     for pair in &report.pairs {
         match &pair.outcome {
             RunOutcome::Completed => {}

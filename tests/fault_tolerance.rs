@@ -1,6 +1,7 @@
 //! Fault-tolerance integration tests: checkpoint/resume equivalence,
 //! budget degradation, and typed errors through the assembly driver.
 
+use darwin_wga::core::dataflow::ExecutorKind;
 use darwin_wga::core::genome_pipeline::{align_assemblies_with, AlignOptions};
 use darwin_wga::core::report::RunOutcome;
 use darwin_wga::core::{config::WgaParams, WgaError};
@@ -42,7 +43,7 @@ fn kill_after_k_pairs_then_resume_is_equivalent() {
     let params = WgaParams::darwin_wga();
     let opts_plain = AlignOptions {
         threads: 2,
-        checkpoint: None,
+        ..AlignOptions::default()
     };
     let uninterrupted = align_assemblies_with(&params, &target, &query, &opts_plain).unwrap();
     assert_eq!(uninterrupted.pairs.len(), 4);
@@ -54,6 +55,7 @@ fn kill_after_k_pairs_then_resume_is_equivalent() {
     let opts_ckpt = AlignOptions {
         threads: 2,
         checkpoint: Some(path.clone()),
+        ..AlignOptions::default()
     };
     let full = align_assemblies_with(&params, &target, &query, &opts_ckpt).unwrap();
     assert_eq!(full.resumed_pairs, 0);
@@ -81,6 +83,44 @@ fn kill_after_k_pairs_then_resume_is_equivalent() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Same kill/resume scenario driven by the streaming dataflow executor:
+/// pairs are journalled as they drain from the extension pool, so a
+/// truncated journal (header + 2 records + torn tail) must resume into
+/// the same bytes an uninterrupted barrier run produces.
+#[test]
+fn dataflow_kill_after_k_pairs_then_resume_is_equivalent() {
+    let (target, query) = two_chrom_assemblies();
+    let params = WgaParams::darwin_wga();
+    let uninterrupted =
+        align_assemblies_with(&params, &target, &query, &AlignOptions::default()).unwrap();
+
+    let path = journal_path("dataflow-kill-resume");
+    let opts = AlignOptions {
+        threads: 3,
+        checkpoint: Some(path.clone()),
+        executor: ExecutorKind::Dataflow,
+        queue_depth: 2,
+    };
+    let full = align_assemblies_with(&params, &target, &query, &opts).unwrap();
+    assert_eq!(full.resumed_pairs, 0);
+    assert_eq!(full.canonical_text(), uninterrupted.canonical_text());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 pair records");
+    let truncated = format!(
+        "{}\n{}\n{}\n{{\"target_chrom\":\"chr",
+        lines[0], lines[1], lines[2]
+    );
+    std::fs::write(&path, truncated).unwrap();
+
+    let resumed = align_assemblies_with(&params, &target, &query, &opts).unwrap();
+    assert_eq!(resumed.resumed_pairs, 2);
+    assert_eq!(resumed.canonical_text(), uninterrupted.canonical_text());
+    assert_eq!(resumed.workload, uninterrupted.workload);
+    let _ = std::fs::remove_file(&path);
+}
+
 /// A journal written under different parameters must be rejected, not
 /// silently mixed into the new run.
 #[test]
@@ -90,6 +130,7 @@ fn resume_with_different_params_is_rejected() {
     let opts = AlignOptions {
         threads: 1,
         checkpoint: Some(path.clone()),
+        ..AlignOptions::default()
     };
     align_assemblies_with(&WgaParams::darwin_wga(), &target, &query, &opts).unwrap();
     let err =
@@ -154,7 +195,7 @@ fn budget_capped_runs_match_across_thread_counts() {
         &query,
         &AlignOptions {
             threads: 1,
-            checkpoint: None,
+            ..AlignOptions::default()
         },
     )
     .unwrap();
@@ -164,7 +205,7 @@ fn budget_capped_runs_match_across_thread_counts() {
         &query,
         &AlignOptions {
             threads: 3,
-            checkpoint: None,
+            ..AlignOptions::default()
         },
     )
     .unwrap();
@@ -180,7 +221,7 @@ fn zero_threads_and_degenerate_params_are_typed_errors() {
         &query,
         &AlignOptions {
             threads: 0,
-            checkpoint: None,
+            ..AlignOptions::default()
         },
     )
     .unwrap_err();

@@ -4,10 +4,12 @@
 //! `tests/data/` together with the expected [`AssemblyReport`] rendering
 //! (`AssemblyReport::canonical_text`). The test replays the full
 //! seed→filter→extend pipeline over the checked-in FASTA for **both**
-//! filter engines at 1 and 3 worker threads and requires the report to
-//! stay byte-identical in all four configurations — any behavioural
-//! drift in seeding, either BSW engine, extension, chaining or the
-//! parallel driver shows up as a diff against a file in version control.
+//! filter engines at 1 and 3 worker threads, and for **both executors**
+//! (stage-barrier and streaming dataflow) at 1, 3 and 8 threads, and
+//! requires the report to stay byte-identical in every configuration —
+//! any behavioural drift in seeding, either BSW engine, extension,
+//! chaining, the parallel driver or the dataflow executor shows up as a
+//! diff against a file in version control.
 //!
 //! To regenerate after an *intentional* output change:
 //!
@@ -18,6 +20,7 @@
 //! then commit the updated files under `tests/data/`.
 
 use darwin_wga::core::config::{FilterEngineKind, WgaParams};
+use darwin_wga::core::dataflow::ExecutorKind;
 use darwin_wga::core::genome_pipeline::{align_assemblies_with, AlignOptions};
 use darwin_wga::genome::assembly::Assembly;
 use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
@@ -100,7 +103,7 @@ fn golden_report_is_stable_across_engines_and_threads() {
             let params = WgaParams::darwin_wga().with_filter_engine(engine);
             let options = AlignOptions {
                 threads,
-                checkpoint: None,
+                ..AlignOptions::default()
             };
             let report = align_assemblies_with(&params, &target, &query, &options)
                 .expect("pipeline run succeeds");
@@ -112,6 +115,39 @@ fn golden_report_is_stable_across_engines_and_threads() {
                  golden report (got {} bytes, expected {})",
                 got.len(),
                 expected.len()
+            );
+        }
+    }
+
+    // Both executors at 1, 3 and 8 threads reproduce the same bytes —
+    // the gate for ever flipping the default to dataflow.
+    for executor in [ExecutorKind::Barrier, ExecutorKind::Dataflow] {
+        for threads in [1usize, 3, 8] {
+            let options = AlignOptions {
+                threads,
+                executor,
+                ..AlignOptions::default()
+            };
+            let report =
+                align_assemblies_with(&WgaParams::darwin_wga(), &target, &query, &options)
+                    .expect("pipeline run succeeds");
+            assert_eq!(
+                report.failed_pairs(),
+                0,
+                "{executor:?}/{threads}t: failed pairs"
+            );
+            let got = report.canonical_text();
+            assert!(
+                got == expected,
+                "{executor:?} executor at {threads} thread(s) diverged from the \
+                 golden report (got {} bytes, expected {})",
+                got.len(),
+                expected.len()
+            );
+            assert_eq!(
+                report.stage_metrics.is_some(),
+                executor == ExecutorKind::Dataflow,
+                "only dataflow runs carry stage metrics"
             );
         }
     }
