@@ -1,0 +1,146 @@
+//! Observability overhead micro-bench: what do the hot-loop hooks cost?
+//!
+//! Two measurements back the obs module's overhead contract (DESIGN.md
+//! "Observability"):
+//!
+//! * **hook micro-loop** — `Obs::timer` + `Obs::filter_tile` (the
+//!   per-filter-tile instrumentation pair, the hottest site in the
+//!   pipeline) iterated N times with the recorder disabled and enabled.
+//!   Disabled, each iteration is a branch on a folded-to-`None`
+//!   reference; enabled, it is two `Instant::now` calls plus three
+//!   relaxed atomic adds.
+//! * **pipeline run** — the full serial pipeline on a synthetic pair
+//!   with `Obs::off()` vs a live `TraceRecorder`, cross-checking that
+//!   both runs produce identical alignments (the inertness contract,
+//!   enforced here as an assertion while timing).
+//!
+//! Results go to stdout and to an integer-only `BENCH_obs.json`
+//! (`overhead_centi` = 100 × enabled/disabled wall time). No
+//! performance gating belongs downstream — hosts vary; the schema test
+//! only checks shape and the inertness assertion.
+//!
+//! Run with: `cargo run --release -p wga-bench --bin obs_overhead`
+//! Optional flags: `--iters N` (default 2000000), `--len N` (default
+//! 20000), `--out PATH` (BENCH_obs.json).
+
+use genome::evolve::{EvolutionParams, SyntheticPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+use wga_core::config::WgaParams;
+use wga_core::obs::{Obs, TraceRecorder};
+use wga_core::pipeline::WgaPipeline;
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn parse_opt<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str, default: T) -> T {
+    match take_opt(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// Times `iters` iterations of the per-tile hook pair; returns wall µs.
+fn hook_loop(obs: Obs<'_>, iters: u64) -> u64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        let timer = obs.timer();
+        obs.filter_tile(&timer, black_box(i & 0xffff));
+    }
+    start.elapsed().as_micros() as u64
+}
+
+/// Centi-nanoseconds per iteration (integer, stable across hosts in
+/// shape if not in value).
+fn centi_ns_per_iter(wall_us: u64, iters: u64) -> u64 {
+    if iters == 0 {
+        return 0;
+    }
+    (wall_us as u128 * 100_000 / iters as u128) as u64
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: u64 = parse_opt(&mut args, "--iters", 2_000_000);
+    let len: usize = parse_opt(&mut args, "--len", 20_000);
+    let out_path = take_opt(&mut args, "--out").unwrap_or_else(|| "BENCH_obs.json".into());
+    if !args.is_empty() {
+        eprintln!("error: unrecognised arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    // Hook micro-loop, disabled vs enabled.
+    let disabled_us = hook_loop(Obs::off(), iters);
+    let recorder = TraceRecorder::new();
+    let enabled_us = hook_loop(Obs::new(&recorder), iters);
+    let disabled_centi_ns = centi_ns_per_iter(disabled_us, iters);
+    let enabled_centi_ns = centi_ns_per_iter(enabled_us, iters);
+    println!("obs_overhead: {iters} hook iterations");
+    println!(
+        "  disabled: {disabled_us} us total, {:.2} ns/op",
+        disabled_centi_ns as f64 / 100.0
+    );
+    println!(
+        "  enabled:  {enabled_us} us total, {:.2} ns/op",
+        enabled_centi_ns as f64 / 100.0
+    );
+
+    // Full pipeline, off vs on, with an inertness cross-check.
+    let mut rng = StdRng::seed_from_u64(11);
+    let pair = SyntheticPair::generate(len, &EvolutionParams::at_distance(0.2), &mut rng);
+    let pipeline = WgaPipeline::new(WgaParams::darwin_wga());
+
+    let start = Instant::now();
+    let off = pipeline.run_observed(&pair.target.sequence, &pair.query.sequence, Obs::off());
+    let off_us = start.elapsed().as_micros() as u64;
+
+    let run_recorder = TraceRecorder::new();
+    let start = Instant::now();
+    let on = pipeline.run_observed(
+        &pair.target.sequence,
+        &pair.query.sequence,
+        Obs::new(&run_recorder),
+    );
+    let on_us = start.elapsed().as_micros() as u64;
+
+    // Inertness: identical alignments either way.
+    assert_eq!(off.alignments, on.alignments, "recorder changed results");
+    assert_eq!(off.workload, on.workload, "recorder changed the workload");
+    let spans = run_recorder.spans().len() as u64;
+    let overhead_centi = if off_us == 0 {
+        0
+    } else {
+        (on_us as u128 * 100 / off_us as u128) as u64
+    };
+    println!(
+        "  pipeline ({len} bp): off {off_us} us, on {on_us} us ({}.{:02}x), {spans} spans",
+        overhead_centi / 100,
+        overhead_centi % 100
+    );
+
+    let json = format!(
+        "{{\"bench\": \"obs_overhead\", \"iters\": {iters}, \"len\": {len}, \
+         \"hook\": {{\"disabled_us\": {disabled_us}, \"enabled_us\": {enabled_us}, \
+         \"disabled_centi_ns\": {disabled_centi_ns}, \"enabled_centi_ns\": {enabled_centi_ns}}}, \
+         \"pipeline\": {{\"off_us\": {off_us}, \"on_us\": {on_us}, \
+         \"overhead_centi\": {overhead_centi}, \"spans\": {spans}}}}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,47 @@
+//! Schema validation for `obs_overhead`'s `BENCH_obs.json`.
+//!
+//! Runs the bench binary on a tiny input (CI's bench smoke-step executes
+//! this test) and checks the emitted JSON is well-formed and carries
+//! every field downstream tooling reads. Deliberately **no performance
+//! gating** — hook costs vary with the host; the binary itself asserts
+//! the inertness contract (identical alignments with the recorder on).
+
+use wga_core::journal::json::{self, Json};
+
+fn int_field(obj: &Json, key: &str) -> i128 {
+    obj.get(key)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {obj:?}"))
+        .as_int()
+        .unwrap_or_else(|| panic!("field {key:?} is not an integer"))
+}
+
+#[test]
+fn bench_obs_json_matches_schema() {
+    let out = std::env::temp_dir().join(format!("BENCH_obs_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_obs_overhead"))
+        .args(["--iters", "20000", "--len", "6000", "--out", out.to_str().unwrap()])
+        .status()
+        .expect("bench binary runs");
+    assert!(status.success(), "obs_overhead exited with {status}");
+
+    let text = std::fs::read_to_string(&out).expect("bench wrote its JSON");
+    let _ = std::fs::remove_file(&out);
+    assert!(!text.contains('.'), "integer-only JSON: {text}");
+    let doc = json::parse(text.trim_end()).expect("BENCH_obs.json is valid JSON");
+
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("obs_overhead"));
+    assert_eq!(int_field(&doc, "iters"), 20000);
+    assert_eq!(int_field(&doc, "len"), 6000);
+
+    let hook = doc.get("hook").expect("hook object");
+    for key in ["disabled_us", "enabled_us", "disabled_centi_ns", "enabled_centi_ns"] {
+        assert!(int_field(hook, key) >= 0, "hook.{key}");
+    }
+
+    let pipeline = doc.get("pipeline").expect("pipeline object");
+    for key in ["off_us", "on_us", "overhead_centi", "spans"] {
+        assert!(int_field(pipeline, key) >= 0, "pipeline.{key}");
+    }
+    assert!(int_field(pipeline, "off_us") > 0, "pipeline ran");
+    assert!(int_field(pipeline, "spans") > 0, "recorder saw the run");
+}

@@ -54,7 +54,9 @@
 
 use crate::budget::{clamp_hit_count, deadline_event};
 use crate::config::WgaParams;
-use crate::dataflow::metrics::{DataflowMetrics, StageMeter};
+use crate::dataflow::metrics::{ExecutorMetrics, StageMeter};
+use crate::dataflow::ExecutorKind;
+use crate::obs::{strand_code, Counter, Obs, SpanName, STRAND_NA};
 use crate::dataflow::queue::BoundedQueue;
 use crate::error::{WgaError, WgaResult};
 use crate::filter_engine::FilterContext;
@@ -182,6 +184,7 @@ pub(crate) fn execute(
     query: &Assembly,
     options: &AlignOptions,
     mut journal: Option<Journal>,
+    obs: Obs<'_>,
 ) -> WgaResult<AssemblyReport> {
     let threads = options.threads;
     let queue_depth = options.queue_depth;
@@ -202,6 +205,11 @@ pub(crate) fn execute(
         }
     }
     let resumed_flags: Vec<bool> = resumed.iter().map(Option::is_some).collect();
+    obs.set_total_pairs(npairs as u64);
+    obs.add(
+        Counter::PairsDone,
+        resumed_flags.iter().filter(|f| **f).count() as u64,
+    );
 
     let filter_q: BoundedQueue<FilterTask<'_>> = BoundedQueue::new(queue_depth);
     let extend_q: BoundedQueue<PairJob<'_>> = BoundedQueue::new(queue_depth);
@@ -236,6 +244,7 @@ pub(crate) fn execute(
                         done_q,
                         seed_meter,
                         table_build_ns,
+                        obs,
                     )
                 }));
                 // Whatever happened, release the filter pool.
@@ -257,7 +266,8 @@ pub(crate) fn execute(
                     let Some(task) = filter_q.pop() else { break };
                     filter_meter.add_idle(wait.elapsed());
                     let busy = Instant::now();
-                    let result = run_filter_batch(params, &task);
+                    let result =
+                        run_filter_batch(params, &task, obs.with_pair(task.pair_id as u64));
                     filter_meter.add_busy(busy.elapsed());
                     filter_meter.add_items(result.processed);
                     filter_meter.add_cells(result.cells);
@@ -281,7 +291,9 @@ pub(crate) fn execute(
                     ext_meter.add_idle(wait.elapsed());
                     let pair_id = job.pair_id;
                     let busy = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| extend_pair(params, job)));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        extend_pair(params, job, obs.with_pair(pair_id as u64))
+                    }));
                     ext_meter.add_busy(busy.elapsed());
                     let done = match result {
                         Ok(report) => {
@@ -307,19 +319,32 @@ pub(crate) fn execute(
         // --- Collector (this thread): journal + gather -----------------
         let mut slots: Vec<Option<Result<WgaReport, String>>> = vec![None; npairs];
         let mut journal_err: Option<WgaError> = None;
+        let mut collector_buf = obs.buffer();
         while let Some(done) = done_q.pop() {
+            obs.add(Counter::PairsDone, 1);
             if let Ok(report) = &done.result {
                 if journal_err.is_none() {
                     if let Some(j) = journal.as_mut() {
                         let (ti, qi) = (done.pair_id / qn, done.pair_id % qn);
+                        let ckpt_timer = collector_buf.start();
                         let append = j.append(&PairRecord {
                             target_chrom: tchroms[ti].name.clone(),
                             query_chrom: qchroms[qi].name.clone(),
                             outcome: report.outcome(),
                             workload: report.workload,
                             timings: report.timings,
+                            counters: report.counters,
                             alignments: report.alignments.clone(),
                         });
+                        collector_buf.finish_for_pair(
+                            ckpt_timer,
+                            SpanName::Checkpoint,
+                            done.pair_id as u64,
+                            STRAND_NA,
+                            0,
+                            1,
+                            0,
+                        );
                         if let Err(e) = append {
                             // The journal is broken: stop feeding the
                             // pipeline, drain what's in flight, and
@@ -333,6 +358,7 @@ pub(crate) fn execute(
             }
             slots[done.pair_id] = Some(done.result);
         }
+        collector_buf.flush();
         (slots, journal_err)
     });
     let (mut slots, journal_err) = match scope_out {
@@ -356,6 +382,7 @@ pub(crate) fn execute(
             out.resumed_pairs += 1;
             out.workload.merge(&record.workload);
             out.timings.merge(&record.timings);
+            out.counters.merge(&record.counters);
             out.alignments
                 .extend(record.alignments.into_iter().map(|aligned| LocatedAlignment {
                     target_chrom: tname.clone(),
@@ -369,6 +396,7 @@ pub(crate) fn execute(
                     let outcome = report.outcome();
                     out.workload.merge(&report.workload);
                     out.timings.merge(&report.timings);
+                    out.counters.merge(&report.counters);
                     out.alignments
                         .extend(report.alignments.into_iter().map(|aligned| LocatedAlignment {
                             target_chrom: tname.clone(),
@@ -391,7 +419,8 @@ pub(crate) fn execute(
     }
     out.alignments
         .sort_by_key(|a| std::cmp::Reverse(a.aligned.alignment.score));
-    out.stage_metrics = Some(DataflowMetrics {
+    out.stage_metrics = Some(ExecutorMetrics {
+        executor: ExecutorKind::Dataflow,
         threads,
         queue_depth,
         seeding: seed_meter.snapshot(1, 0),
@@ -417,6 +446,7 @@ fn produce<'a>(
     done_q: &BoundedQueue<PairDone>,
     seed_meter: &StageMeter,
     table_build_ns: &AtomicU64,
+    obs: Obs<'_>,
 ) {
     let qn = qchroms.len();
     for (ti, tchrom) in tchroms.iter().enumerate() {
@@ -430,6 +460,8 @@ fn produce<'a>(
             }
 
             if table.is_none() && table_failed.is_none() {
+                let mut buf = obs.with_pair(pair_id as u64).buffer();
+                let table_timer = buf.start();
                 let busy = Instant::now();
                 match catch_unwind(AssertUnwindSafe(|| timed_seed_table(params, &tchrom.sequence)))
                 {
@@ -437,6 +469,14 @@ fn produce<'a>(
                         table = Some(built);
                         table_build_ns.fetch_add(build_time.as_nanos() as u64, Ordering::Relaxed);
                         seed_meter.add_busy(busy.elapsed());
+                        buf.finish(
+                            table_timer,
+                            SpanName::SeedTable,
+                            STRAND_NA,
+                            ti as u64,
+                            1,
+                            tchrom.sequence.len() as u64,
+                        );
                     }
                     Err(payload) => {
                         table_failed = Some(panic_message(payload.as_ref()));
@@ -459,7 +499,14 @@ fn produce<'a>(
             let pair_start = Instant::now();
             let busy = Instant::now();
             let planned = catch_unwind(AssertUnwindSafe(|| {
-                plan_pair(params, table, &tchrom.sequence, &qchrom.sequence, seed_meter)
+                plan_pair(
+                    params,
+                    table,
+                    &tchrom.sequence,
+                    &qchrom.sequence,
+                    seed_meter,
+                    obs.with_pair(pair_id as u64),
+                )
             }));
             seed_meter.add_busy(busy.elapsed());
             let lanes = match planned {
@@ -558,6 +605,7 @@ fn plan_pair<'a>(
     target: &'a Sequence,
     query: &'a Sequence,
     seed_meter: &StageMeter,
+    obs: Obs<'_>,
 ) -> Vec<PlannedLane<'a>> {
     let mut lanes = Vec::with_capacity(if params.both_strands { 2 } else { 1 });
     let fwd = plan_lane(
@@ -568,6 +616,7 @@ fn plan_pair<'a>(
         Strand::Forward,
         0,
         seed_meter,
+        obs,
     );
     let fwd_tiles = fwd.hits.len() as u64;
     lanes.push(fwd);
@@ -581,11 +630,13 @@ fn plan_pair<'a>(
             Strand::Reverse,
             fwd_tiles,
             seed_meter,
+            obs,
         ));
     }
     lanes
 }
 
+#[allow(clippy::too_many_arguments)]
 fn plan_lane<'a>(
     params: &WgaParams,
     table: &SeedTable,
@@ -594,13 +645,25 @@ fn plan_lane<'a>(
     strand: Strand,
     tiles_planned: u64,
     seed_meter: &StageMeter,
+    obs: Obs<'_>,
 ) -> PlannedLane<'a> {
+    let mut buf = obs.buffer();
+    let seed_timer = buf.start();
     let seed_start = Instant::now();
     let seeding = dsoft_seeds(table, query.seq(), &params.dsoft);
     let seed_time = seed_start.elapsed();
     let clamp = clamp_hit_count(params, seeding.hits.len(), tiles_planned);
     let mut hits = seeding.hits;
     hits.truncate(clamp.take);
+    buf.finish(
+        seed_timer,
+        SpanName::Seed,
+        strand_code(strand),
+        0,
+        hits.len() as u64,
+        seeding.seeds_queried,
+    );
+    buf.flush();
     seed_meter.add_items(hits.len() as u64);
     seed_meter.add_cells(seeding.seeds_queried);
     let ctx_start = Instant::now();
@@ -622,10 +685,10 @@ fn plan_lane<'a>(
 /// batch executes under `catch_unwind`, a panicked batch gets one serial
 /// retry, and a second panic yields a failed result (recorded later as
 /// [`RunEvent::BatchFailed`]) instead of killing the pair.
-fn run_filter_batch(params: &WgaParams, task: &FilterTask<'_>) -> BatchResult {
-    match try_filter_batch(params, task) {
+fn run_filter_batch(params: &WgaParams, task: &FilterTask<'_>, obs: Obs<'_>) -> BatchResult {
+    match try_filter_batch(params, task, obs) {
         Ok(result) => result,
-        Err(_first) => match try_filter_batch(params, task) {
+        Err(_first) => match try_filter_batch(params, task, obs) {
             Ok(result) => result,
             Err(message) => BatchResult {
                 anchors: Vec::new(),
@@ -639,9 +702,15 @@ fn run_filter_batch(params: &WgaParams, task: &FilterTask<'_>) -> BatchResult {
     }
 }
 
-fn try_filter_batch(params: &WgaParams, task: &FilterTask<'_>) -> Result<BatchResult, String> {
+fn try_filter_batch(
+    params: &WgaParams,
+    task: &FilterTask<'_>,
+    obs: Obs<'_>,
+) -> Result<BatchResult, String> {
     let start = Instant::now();
     catch_unwind(AssertUnwindSafe(|| {
+        let mut buf = obs.buffer();
+        let batch_timer = buf.start();
         let mut engine = task.ctx.engine();
         let mut anchors = Vec::new();
         let mut processed = 0u64;
@@ -652,13 +721,27 @@ fn try_filter_batch(params: &WgaParams, task: &FilterTask<'_>) -> Result<BatchRe
             }
             #[cfg(test)]
             poison_check(hit);
+            let tile_timer = obs.timer();
             let outcome = engine.filter_hit(params, task.target, task.query.seq(), hit);
+            obs.filter_tile(&tile_timer, outcome.cells);
             cells += outcome.cells;
             if let Some(anchor) = outcome.anchor {
                 anchors.push(anchor);
             }
             processed += 1;
         }
+        buf.finish(
+            batch_timer,
+            SpanName::FilterBatch,
+            if task.lane_idx == 0 {
+                crate::obs::STRAND_FWD
+            } else {
+                crate::obs::STRAND_REV
+            },
+            task.batch_idx as u64,
+            processed,
+            cells,
+        );
         BatchResult {
             anchors,
             processed,
@@ -710,7 +793,7 @@ fn deposit<'a>(
 /// hit order from the deposited batches, replays the barrier executor's
 /// event/counter accounting, and runs the sequential anchor-absorption
 /// extension per lane.
-fn extend_pair(params: &WgaParams, mut job: PairJob<'_>) -> WgaReport {
+fn extend_pair(params: &WgaParams, mut job: PairJob<'_>, obs: Obs<'_>) -> WgaReport {
     let mut report = WgaReport::default();
     let target = job.target;
     for lane in &mut job.lanes {
@@ -734,6 +817,7 @@ fn extend_pair(params: &WgaParams, mut job: PairJob<'_>) -> WgaReport {
                 None => {
                     report.workload.filter_tiles += batch.processed;
                     report.counters.hits_filtered += batch.processed;
+                    report.counters.filter_cells += batch.cells;
                     if batch.processed < batch.items {
                         deadline_hit = true;
                     }
@@ -757,6 +841,7 @@ fn extend_pair(params: &WgaParams, mut job: PairJob<'_>) -> WgaReport {
             anchors,
             job.pair_start,
             &mut report,
+            obs,
         );
     }
     report

@@ -1,11 +1,14 @@
-//! Per-stage telemetry of the dataflow executor.
+//! Per-stage telemetry of the executors.
 //!
 //! The hardware paper evaluates its decoupled arrays by occupancy and
-//! throughput per stage; this module is the software equivalent: each
-//! worker pool accumulates items/cells processed and busy/idle time into
-//! lock-free counters, snapshotted into a [`DataflowMetrics`] at the end
-//! of the run and optionally written as JSON (`--metrics-out`).
+//! throughput per stage; this module is the software equivalent. In the
+//! dataflow executor each worker pool accumulates items/cells processed
+//! and busy/idle time into lock-free counters, snapshotted into an
+//! [`ExecutorMetrics`] at the end of the run; the barrier executor
+//! derives the same shape from its aggregated timings and funnel
+//! counters, so `--metrics-out` works on every executor.
 
+use crate::dataflow::ExecutorKind;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -70,9 +73,12 @@ pub struct StageMetrics {
     pub max_queue_occupancy: u64,
 }
 
-/// Whole-run telemetry of one dataflow execution.
+/// Whole-run telemetry of one executor run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DataflowMetrics {
+pub struct ExecutorMetrics {
+    /// Which executor produced these metrics.
+    #[serde(default)]
+    pub executor: ExecutorKind,
     /// Worker threads per pool.
     pub threads: usize,
     /// Configured bounded-queue capacity.
@@ -85,7 +91,11 @@ pub struct DataflowMetrics {
     pub extension: StageMetrics,
 }
 
-impl DataflowMetrics {
+/// Former name of [`ExecutorMetrics`], kept for source compatibility
+/// from when only the dataflow executor reported stage telemetry.
+pub type DataflowMetrics = ExecutorMetrics;
+
+impl ExecutorMetrics {
     /// Renders the metrics as a stable, integer-only JSON document
     /// (the `--metrics-out` payload). Integer-only keeps the schema
     /// diffable and platform-independent, like the bench JSON files.
@@ -97,7 +107,8 @@ impl DataflowMetrics {
             )
         }
         format!(
-            "{{\"threads\":{},\"queue_depth\":{},\"seeding\":{},\"filtering\":{},\"extension\":{}}}",
+            "{{\"executor\":\"{}\",\"threads\":{},\"queue_depth\":{},\"seeding\":{},\"filtering\":{},\"extension\":{}}}",
+            self.executor.as_str(),
             self.threads,
             self.queue_depth,
             stage(&self.seeding),
@@ -116,10 +127,15 @@ impl DataflowMetrics {
                 s.workers, s.items, s.cells, s.max_queue_occupancy
             )
         }
+        let queue = if self.executor == ExecutorKind::Dataflow {
+            format!(", queue-depth={}", self.queue_depth)
+        } else {
+            String::new()
+        };
         format!(
-            "dataflow stages (threads={}, queue-depth={}):\n{}\n{}\n{}",
+            "stage metrics (executor={}, threads={}{queue}):\n{}\n{}\n{}",
+            self.executor.as_str(),
             self.threads,
-            self.queue_depth,
             line("seeding", &self.seeding),
             line("filtering", &self.filtering),
             line("extension", &self.extension)
@@ -150,7 +166,8 @@ mod tests {
 
     #[test]
     fn json_is_integer_only_and_parses() {
-        let metrics = DataflowMetrics {
+        let metrics = ExecutorMetrics {
+            executor: ExecutorKind::Dataflow,
             threads: 8,
             queue_depth: 64,
             seeding: StageMetrics {
@@ -161,11 +178,18 @@ mod tests {
                 idle_us: 0,
                 max_queue_occupancy: 0,
             },
-            ..DataflowMetrics::default()
+            ..ExecutorMetrics::default()
         };
         let json = metrics.to_json();
-        assert!(!json.contains('.'), "integer-only: {json}");
+        assert!(
+            !json.replace("\"executor\":\"dataflow\"", "").contains('.'),
+            "integer-only: {json}"
+        );
         let value = crate::journal::json::parse(&json).unwrap();
+        assert_eq!(
+            value.get("executor").and_then(|v| v.as_str().map(String::from)),
+            Some("dataflow".to_string())
+        );
         assert_eq!(value.get("threads").and_then(|v| v.as_int()), Some(8));
         assert_eq!(
             value
@@ -190,6 +214,14 @@ mod tests {
                 );
             }
         }
-        assert!(metrics.summary().contains("dataflow stages"));
+        assert!(metrics.summary().contains("executor=dataflow"));
+        assert!(metrics.summary().contains("queue-depth=64"));
+        let barrier = ExecutorMetrics {
+            executor: ExecutorKind::Barrier,
+            ..metrics
+        };
+        assert!(barrier.summary().contains("executor=barrier"));
+        assert!(!barrier.summary().contains("queue-depth"));
+        assert!(barrier.to_json().contains("\"executor\":\"barrier\""));
     }
 }

@@ -29,7 +29,7 @@ mod executor;
 mod metrics;
 mod queue;
 
-pub use metrics::{DataflowMetrics, StageMetrics};
+pub use metrics::{DataflowMetrics, ExecutorMetrics, StageMetrics};
 pub use queue::BoundedQueue;
 
 pub(crate) use executor::execute;
@@ -38,7 +38,7 @@ pub(crate) use executor::execute;
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
 /// Which execution engine drives an assembly-scale run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ExecutorKind {
     /// Stage-barrier driver: the filter stage fans out per pair, seeding
     /// and extension run serially ([`crate::parallel`]).
@@ -47,6 +47,16 @@ pub enum ExecutorKind {
     /// Streaming executor: all three stages run concurrently over
     /// bounded queues.
     Dataflow,
+}
+
+impl ExecutorKind {
+    /// Stable lower-case name, used in metrics JSON and CLI summaries.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecutorKind::Barrier => "barrier",
+            ExecutorKind::Dataflow => "dataflow",
+        }
+    }
 }
 
 impl std::str::FromStr for ExecutorKind {
@@ -84,6 +94,8 @@ mod tests {
         executor_kind_parses().unwrap();
         assert!("streaming".parse::<ExecutorKind>().is_err());
         assert_eq!(ExecutorKind::default(), ExecutorKind::Barrier);
+        assert_eq!(ExecutorKind::Barrier.as_str(), "barrier");
+        assert_eq!(ExecutorKind::Dataflow.as_str(), "dataflow");
     }
 
     fn assemblies(seed: u64, sizes: &[(usize, f64)]) -> (Assembly, Assembly) {
@@ -143,13 +155,19 @@ mod tests {
                 );
                 assert_eq!(barrier.workload, dataflow.workload);
                 let metrics = dataflow.stage_metrics.expect("dataflow sets metrics");
+                assert_eq!(metrics.executor, ExecutorKind::Dataflow);
                 assert_eq!(metrics.threads, threads);
                 assert_eq!(metrics.queue_depth, queue_depth);
                 assert_eq!(metrics.filtering.items, barrier.workload.filter_tiles);
                 assert!(metrics.filtering.max_queue_occupancy <= queue_depth as u64);
             }
         }
-        assert!(barrier.stage_metrics.is_none(), "barrier sets no metrics");
+        // Since the observability PR the barrier executor reports stage
+        // metrics too, derived from its aggregate timings and counters.
+        let bm = barrier.stage_metrics.expect("barrier sets metrics too");
+        assert_eq!(bm.executor, ExecutorKind::Barrier);
+        assert_eq!(bm.filtering.items, barrier.workload.filter_tiles);
+        assert_eq!(bm.threads, 1);
     }
 
     #[test]

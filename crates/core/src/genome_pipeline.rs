@@ -23,10 +23,13 @@
 //! byte-identical across engines and thread counts.
 
 use crate::config::WgaParams;
-use crate::dataflow::{DataflowMetrics, ExecutorKind, DEFAULT_QUEUE_DEPTH};
+use crate::dataflow::{ExecutorKind, ExecutorMetrics, StageMetrics, DEFAULT_QUEUE_DEPTH};
 use crate::error::{WgaError, WgaResult};
 use crate::journal::{params_fingerprint, Journal, PairRecord};
-use crate::report::{PairOutcome, RunOutcome, StageTimings, Strand, WgaAlignment, WgaReport};
+use crate::obs::{Counter, Obs, SpanName, STRAND_NA};
+use crate::report::{
+    FunnelCounters, PairOutcome, RunOutcome, StageTimings, Strand, WgaAlignment, WgaReport,
+};
 use crate::stages::timed_seed_table;
 use genome::assembly::Assembly;
 use genome::Sequence;
@@ -87,17 +90,22 @@ pub struct AssemblyReport {
     pub workload: Workload,
     /// Aggregate stage timings.
     pub timings: StageTimings,
+    /// Aggregate funnel counters across all pairs. Excluded from
+    /// [`AssemblyReport::canonical_text`], like timings.
+    #[serde(default)]
+    pub counters: FunnelCounters,
     /// Per-pair outcomes, in canonical (target × query) order.
     #[serde(default)]
     pub pairs: Vec<PairOutcome>,
     /// Pairs replayed from the checkpoint journal instead of recomputed.
     #[serde(default)]
     pub resumed_pairs: u64,
-    /// Per-stage telemetry of the dataflow executor (`None` for barrier
-    /// runs). Excluded from [`AssemblyReport::canonical_text`], like
-    /// timings: telemetry varies run to run, results do not.
+    /// Per-stage telemetry of the executor that ran this report (set by
+    /// both the barrier and dataflow executors). Excluded from
+    /// [`AssemblyReport::canonical_text`], like timings: telemetry varies
+    /// run to run, results do not.
     #[serde(default)]
-    pub stage_metrics: Option<DataflowMetrics>,
+    pub stage_metrics: Option<ExecutorMetrics>,
 }
 
 impl AssemblyReport {
@@ -234,6 +242,21 @@ pub fn align_assemblies_with(
     query: &Assembly,
     options: &AlignOptions,
 ) -> WgaResult<AssemblyReport> {
+    align_assemblies_observed(params, target, query, options, Obs::off())
+}
+
+/// [`align_assemblies_with`] with an observability hook: spans, counters
+/// and histograms flow into `obs` (see [`crate::obs`]). Passing
+/// [`Obs::off`] makes this identical to the plain entry point — the
+/// disabled path costs one branch per instrumentation site and never
+/// changes results.
+pub fn align_assemblies_observed(
+    params: &WgaParams,
+    target: &Assembly,
+    query: &Assembly,
+    options: &AlignOptions,
+    obs: Obs<'_>,
+) -> WgaResult<AssemblyReport> {
     params.validate()?;
     if options.threads == 0 {
         return Err(WgaError::config("threads must be at least 1"));
@@ -247,20 +270,25 @@ pub fn align_assemblies_with(
     };
 
     if options.executor == ExecutorKind::Dataflow {
-        return crate::dataflow::execute(params, target, query, options, journal);
+        return crate::dataflow::execute(params, target, query, options, journal, obs);
     }
 
+    let qn = query.chromosomes().len();
+    obs.set_total_pairs((target.chromosomes().len() * qn) as u64);
     let mut out = AssemblyReport::default();
-    for tchrom in target.chromosomes() {
+    for (ti, tchrom) in target.chromosomes().iter().enumerate() {
         // Built lazily so a fully-journaled target row skips the build.
         let mut table: Option<SeedTable> = None;
         let mut table_failed: Option<String> = None;
-        for qchrom in query.chromosomes() {
+        for (qi, qchrom) in query.chromosomes().iter().enumerate() {
+            let pair_obs = obs.with_pair((ti * qn + qi) as u64);
             if let Some(journal) = journal.as_mut() {
                 if let Some(record) = journal.take(&tchrom.name, &qchrom.name) {
                     out.resumed_pairs += 1;
                     out.workload.merge(&record.workload);
                     out.timings.merge(&record.timings);
+                    out.counters.merge(&record.counters);
+                    obs.add(Counter::PairsDone, 1);
                     out.pairs.push(PairOutcome {
                         target_chrom: tchrom.name.clone(),
                         query_chrom: qchrom.name.clone(),
@@ -279,11 +307,21 @@ pub fn align_assemblies_with(
             }
 
             if table.is_none() && table_failed.is_none() {
+                let mut buf = pair_obs.buffer();
+                let table_timer = buf.start();
                 match catch_unwind(AssertUnwindSafe(|| timed_seed_table(params, &tchrom.sequence)))
                 {
                     Ok((built, build_time)) => {
                         table = Some(built);
                         out.timings.seeding += build_time;
+                        buf.finish(
+                            table_timer,
+                            SpanName::SeedTable,
+                            STRAND_NA,
+                            ti as u64,
+                            1,
+                            tchrom.sequence.len() as u64,
+                        );
                     }
                     Err(payload) => {
                         table_failed = Some(crate::parallel::panic_message(payload.as_ref()));
@@ -303,22 +341,29 @@ pub fn align_assemblies_with(
                         &tchrom.sequence,
                         &qchrom.sequence,
                         options.threads,
+                        pair_obs,
                     )
                 })) {
                     Ok(report) => {
                         let outcome = report.outcome();
                         if let Some(journal) = journal.as_mut() {
+                            let mut buf = pair_obs.buffer();
+                            let ckpt_timer = buf.start();
                             journal.append(&PairRecord {
                                 target_chrom: tchrom.name.clone(),
                                 query_chrom: qchrom.name.clone(),
                                 outcome: outcome.clone(),
                                 workload: report.workload,
                                 timings: report.timings,
+                                counters: report.counters,
                                 alignments: report.alignments.clone(),
                             })?;
+                            buf.finish(ckpt_timer, SpanName::Checkpoint, STRAND_NA, 0, 1, 0);
                         }
                         out.workload.merge(&report.workload);
                         out.timings.merge(&report.timings);
+                        out.counters.merge(&report.counters);
+                        obs.add(Counter::PairsDone, 1);
                         out.alignments
                             .extend(report.alignments.into_iter().map(|aligned| {
                                 LocatedAlignment {
@@ -349,7 +394,45 @@ pub fn align_assemblies_with(
     }
     out.alignments
         .sort_by_key(|a| std::cmp::Reverse(a.aligned.alignment.score));
+    out.stage_metrics = Some(barrier_metrics(&out, options.threads));
     Ok(out)
+}
+
+/// Derives [`ExecutorMetrics`] for a barrier run from the aggregate
+/// timings, workload and funnel counters, so `--metrics-out` carries the
+/// same shape on every executor. Barrier stages run to completion one
+/// after another, so idle time and queue occupancy are zero by
+/// construction.
+fn barrier_metrics(out: &AssemblyReport, threads: usize) -> ExecutorMetrics {
+    ExecutorMetrics {
+        executor: ExecutorKind::Barrier,
+        threads,
+        queue_depth: 0,
+        seeding: StageMetrics {
+            workers: 1,
+            items: out.counters.hits_filtered,
+            cells: out.workload.seeds,
+            busy_us: out.timings.seeding.as_micros() as u64,
+            idle_us: 0,
+            max_queue_occupancy: 0,
+        },
+        filtering: StageMetrics {
+            workers: threads,
+            items: out.workload.filter_tiles,
+            cells: out.counters.filter_cells,
+            busy_us: out.timings.filtering.as_micros() as u64,
+            idle_us: 0,
+            max_queue_occupancy: 0,
+        },
+        extension: StageMetrics {
+            workers: 1,
+            items: out.counters.anchors_passed,
+            cells: out.workload.extension_cells,
+            busy_us: out.timings.extension.as_micros() as u64,
+            idle_us: 0,
+            max_queue_occupancy: 0,
+        },
+    }
 }
 
 /// Runs one chromosome pair serially or with a parallel filter stage.
@@ -359,11 +442,13 @@ fn run_pair(
     target: &Sequence,
     query: &Sequence,
     threads: usize,
+    obs: Obs<'_>,
 ) -> WgaReport {
     if threads > 1 {
-        crate::parallel::run_with_table_parallel(params, table, target, query, threads)
+        crate::parallel::run_with_table_parallel_observed(params, table, target, query, threads, obs)
     } else {
-        crate::pipeline::WgaPipeline::new(params.clone()).run_with_table(table, target, query)
+        crate::pipeline::WgaPipeline::new(params.clone())
+            .run_with_table_observed(table, target, query, obs)
     }
 }
 

@@ -19,7 +19,9 @@
 
 use crate::config::WgaParams;
 use crate::error::{WgaError, WgaResult};
-use crate::report::{BudgetKind, RunEvent, RunOutcome, StageKind, StageTimings, Strand, WgaAlignment};
+use crate::report::{
+    BudgetKind, FunnelCounters, RunEvent, RunOutcome, StageKind, StageTimings, Strand, WgaAlignment,
+};
 use align::{AlignOp, Alignment, Cigar};
 use hwsim::Workload;
 use std::collections::HashMap;
@@ -47,6 +49,9 @@ pub struct PairRecord {
     pub workload: Workload,
     /// The pair's stage timings (microsecond granularity).
     pub timings: StageTimings,
+    /// The pair's funnel counters. Records written before this field
+    /// existed decode as all-zero counters.
+    pub counters: FunnelCounters,
     /// The pair's alignments, best score first.
     pub alignments: Vec<WgaAlignment>,
 }
@@ -269,6 +274,13 @@ fn encode_timings(out: &mut String, t: &StageTimings) {
     ));
 }
 
+fn encode_counters(out: &mut String, c: &FunnelCounters) {
+    out.push_str(&format!(
+        "{{\"raw_seed_hits\":{},\"hits_filtered\":{},\"filter_cells\":{},\"anchors_passed\":{},\"anchors_absorbed\":{},\"alignments_kept\":{}}}",
+        c.raw_seed_hits, c.hits_filtered, c.filter_cells, c.anchors_passed, c.anchors_absorbed, c.alignments_kept
+    ));
+}
+
 fn budget_kind_name(kind: BudgetKind) -> &'static str {
     match kind {
         BudgetKind::SeedHits => "seed_hits",
@@ -367,6 +379,8 @@ fn encode_record(record: &PairRecord) -> String {
     encode_workload(&mut out, &record.workload);
     push_field(&mut out, "timings_us", &mut first);
     encode_timings(&mut out, &record.timings);
+    push_field(&mut out, "counters", &mut first);
+    encode_counters(&mut out, &record.counters);
     push_field(&mut out, "alignments", &mut first);
     out.push('[');
     for (i, wa) in record.alignments.iter().enumerate() {
@@ -528,6 +542,35 @@ fn decode_workload(value: &json::Json) -> Result<Workload, String> {
     })
 }
 
+/// Decodes the funnel counters. Tolerant on two axes so old journals
+/// stay readable: a missing `counters` object (records predating the
+/// field) and missing individual keys (counters added later) both decode
+/// as zero.
+fn decode_counters(value: Option<&json::Json>) -> Result<FunnelCounters, String> {
+    let Some(value) = value else {
+        return Ok(FunnelCounters::default());
+    };
+    let opt = |key: &str| -> Result<u64, String> {
+        match value.get(key) {
+            None => Ok(0),
+            Some(v) => {
+                let n = v
+                    .as_int()
+                    .ok_or_else(|| format!("field {key:?} is not an integer"))?;
+                u64::try_from(n).map_err(|_| format!("field {key:?} out of range"))
+            }
+        }
+    };
+    Ok(FunnelCounters {
+        raw_seed_hits: opt("raw_seed_hits")?,
+        hits_filtered: opt("hits_filtered")?,
+        filter_cells: opt("filter_cells")?,
+        anchors_passed: opt("anchors_passed")?,
+        anchors_absorbed: opt("anchors_absorbed")?,
+        alignments_kept: opt("alignments_kept")?,
+    })
+}
+
 fn decode_timings(value: &json::Json) -> Result<StageTimings, String> {
     Ok(StageTimings {
         seeding: Duration::from_micros(u64_field(value, "seeding")?),
@@ -550,6 +593,7 @@ fn decode_record(line: &str) -> Result<PairRecord, String> {
         outcome: decode_outcome(field(&value, "outcome")?)?,
         workload: decode_workload(field(&value, "workload")?)?,
         timings: decode_timings(field(&value, "timings_us")?)?,
+        counters: decode_counters(value.get("counters"))?,
         alignments,
     })
 }
@@ -872,6 +916,14 @@ mod tests {
                 filtering: Duration::from_micros(2500),
                 extension: Duration::from_micros(3500),
             },
+            counters: FunnelCounters {
+                raw_seed_hits: 25,
+                hits_filtered: 20,
+                filter_cells: 6400,
+                anchors_passed: 3,
+                anchors_absorbed: 1,
+                alignments_kept: 1,
+            },
             alignments: vec![WgaAlignment {
                 alignment: Alignment::new(5, 9, cigar, 1234),
                 strand: Strand::Reverse,
@@ -886,6 +938,24 @@ mod tests {
         assert!(line.ends_with('\n'));
         let parsed = decode_record(line.trim_end()).unwrap();
         assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn record_without_counters_decodes_as_zero() {
+        // A journal line written before the counters field existed.
+        let record = sample_record();
+        let line = encode_record(&record);
+        let counters_json = {
+            let mut buf = String::new();
+            encode_counters(&mut buf, &record.counters);
+            buf
+        };
+        let legacy = line.replace(&format!(",\"counters\":{counters_json}"), "");
+        assert_ne!(legacy, line, "counters field should have been stripped");
+        let parsed = decode_record(legacy.trim_end()).unwrap();
+        assert_eq!(parsed.counters, FunnelCounters::default());
+        assert_eq!(parsed.workload, record.workload);
+        assert_eq!(parsed.alignments, record.alignments);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod filter_engine;
 pub mod genome_pipeline;
 pub mod journal;
 pub mod maf;
+pub mod obs;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;

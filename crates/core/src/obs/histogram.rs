@@ -1,0 +1,121 @@
+//! Lock-free log2-bucketed histograms.
+//!
+//! A [`Log2Histogram`] sorts `u64` samples into power-of-two buckets:
+//! bucket 0 holds the value `0`, and bucket `b` (for `b >= 1`) holds
+//! values in `[2^(b-1), 2^b - 1]`. That gives 65 buckets covering the
+//! full `u64` range with a single `leading_zeros` instruction per
+//! sample and one relaxed atomic increment — cheap enough to sit on
+//! the per-tile filter path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram over `u64` samples.
+///
+/// All operations use relaxed atomics; concurrent `observe` calls never
+/// block and the snapshot is only guaranteed consistent once the
+/// writers have quiesced (which is how the recorder uses it: histograms
+/// are rendered after the run finishes).
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index for a sample: `0 -> 0`, otherwise `floor(log2(v)) + 1`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Smallest value that lands in `bucket` (the bucket's lower bound).
+    pub fn bucket_lower_bound(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            b => 1u64 << (b - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sparse snapshot: `(bucket_index, count)` for every non-empty
+    /// bucket, in ascending bucket order.
+    pub fn snapshot(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                (count > 0).then_some((idx, count))
+            })
+            .collect()
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Zero gets its own bucket.
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        // Bucket b covers [2^(b-1), 2^b - 1].
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(7), 3);
+        assert_eq!(Log2Histogram::bucket_index(8), 4);
+        assert_eq!(Log2Histogram::bucket_index(1 << 20), 21);
+        assert_eq!(Log2Histogram::bucket_index((1 << 21) - 1), 21);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_index(1 << 63), 64);
+    }
+
+    #[test]
+    fn lower_bounds_invert_bucket_index() {
+        for bucket in 0..LOG2_BUCKETS {
+            let lo = Log2Histogram::bucket_lower_bound(bucket);
+            assert_eq!(Log2Histogram::bucket_index(lo), bucket, "bucket {bucket}");
+            if lo > 0 {
+                // One below the lower bound falls in the previous bucket.
+                assert_eq!(Log2Histogram::bucket_index(lo - 1), bucket - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn observe_and_snapshot() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.snapshot(), vec![(0, 1), (1, 1), (2, 2), (11, 1)]);
+    }
+}

@@ -1,0 +1,680 @@
+//! Unified observability layer: trace spans, counters, histograms.
+//!
+//! Every driver (serial [`crate::pipeline::WgaPipeline`], the
+//! panic-isolated parallel driver, the streaming dataflow executor and
+//! [`crate::genome_pipeline::align_assemblies_observed`]) threads an
+//! [`Obs`] handle through its hot loops. The handle is a `Copy`
+//! two-word value wrapping an optional `&dyn Recorder`; when
+//! observability is off (the default for every pre-existing entry
+//! point) the option is `None` and every instrumentation call reduces
+//! to a single branch — the overhead contract pinned by the
+//! `obs_overhead` bench binary.
+//!
+//! Three primitives:
+//!
+//! * **Spans** ([`Span`]) — named, timestamped intervals (`seed`,
+//!   `filter.batch`, `extend.tile`, `chain`, `checkpoint`, …) gathered
+//!   in per-worker [`SpanBuf`] buffers and flushed to the recorder at
+//!   batch boundaries, so the shared span list is touched once per
+//!   batch rather than once per tile.
+//! * **Counters** ([`Counter`]) — relaxed atomic funnel totals (pairs
+//!   done, filter tiles, DP cells, …) cheap enough for live progress
+//!   reporting.
+//! * **Histograms** ([`Log2Histogram`]) — log2-bucketed latency and
+//!   size distributions (per-tile filter latency, per-tile DP cells,
+//!   extension tiles per anchor).
+//!
+//! The concrete [`TraceRecorder`] renders everything as JSONL with
+//! deterministic integer-only fields (see [`Span::to_json_line`] and
+//! [`TraceRecorder::write_trace`]); the [`NullRecorder`] ignores
+//! everything and reports itself disabled so [`Obs::new`] folds it into
+//! the no-op path.
+
+mod histogram;
+mod progress;
+
+pub use histogram::{Log2Histogram, LOG2_BUCKETS};
+pub use progress::{render_progress_line, ProgressMeter, ProgressSnapshot};
+
+use crate::report::Strand;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// `pair` value for spans not attributed to a chromosome pair.
+pub const NO_PAIR: u64 = u64::MAX;
+
+/// `strand` code for forward-strand spans.
+pub const STRAND_FWD: u8 = 0;
+/// `strand` code for reverse-strand spans.
+pub const STRAND_REV: u8 = 1;
+/// `strand` code for spans with no strand (seed-table build, checkpoint…).
+pub const STRAND_NA: u8 = 2;
+
+/// Trace code for a pipeline strand.
+pub fn strand_code(strand: Strand) -> u8 {
+    match strand {
+        Strand::Forward => STRAND_FWD,
+        Strand::Reverse => STRAND_REV,
+    }
+}
+
+/// Names of the spans the drivers emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanName {
+    /// D-SOFT seeding of one strand of one pair.
+    Seed,
+    /// Seed-table construction for one target chromosome.
+    SeedTable,
+    /// One batch of gapped filter tiles (a whole strand in the serial
+    /// driver, one worker batch in the parallel/dataflow drivers).
+    FilterBatch,
+    /// GACT-X extension of one surviving anchor (items = tiles).
+    ExtendTile,
+    /// Chaining of one pair's alignments (CLI post-pass).
+    Chain,
+    /// One checkpoint-journal append.
+    Checkpoint,
+    /// Modeled BSW accelerator time for the whole run (hwsim bridge).
+    HwsimBsw,
+    /// Modeled GACT-X accelerator time for the whole run (hwsim bridge).
+    HwsimGactx,
+}
+
+impl SpanName {
+    /// Every span name, for schema tests and documentation.
+    pub const ALL: [SpanName; 8] = [
+        SpanName::Seed,
+        SpanName::SeedTable,
+        SpanName::FilterBatch,
+        SpanName::ExtendTile,
+        SpanName::Chain,
+        SpanName::Checkpoint,
+        SpanName::HwsimBsw,
+        SpanName::HwsimGactx,
+    ];
+
+    /// The wire name used in trace JSONL lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanName::Seed => "seed",
+            SpanName::SeedTable => "seed.table",
+            SpanName::FilterBatch => "filter.batch",
+            SpanName::ExtendTile => "extend.tile",
+            SpanName::Chain => "chain",
+            SpanName::Checkpoint => "checkpoint",
+            SpanName::HwsimBsw => "hwsim.bsw",
+            SpanName::HwsimGactx => "hwsim.gactx",
+        }
+    }
+}
+
+/// One recorded interval. All fields are integers so the JSONL output
+/// is deterministic in shape (values are wall-clock measurements and
+/// naturally vary run to run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What was measured.
+    pub name: SpanName,
+    /// Pair id (`target_index * query_count + query_index`), or
+    /// [`NO_PAIR`] for spans outside any pair.
+    pub pair: u64,
+    /// [`STRAND_FWD`], [`STRAND_REV`] or [`STRAND_NA`].
+    pub strand: u8,
+    /// Sequence number disambiguating sibling spans (batch index,
+    /// anchor index, …).
+    pub seq: u64,
+    /// Microseconds since the observation epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Work items covered (tiles, hits, alignments — span-specific).
+    pub items: u64,
+    /// DP cells covered, where meaningful (0 otherwise).
+    pub cells: u64,
+}
+
+impl Span {
+    /// Renders the span as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"span\":\"{}\",\"pair\":{},\"strand\":{},\"seq\":{},\
+             \"start_us\":{},\"dur_us\":{},\"items\":{},\"cells\":{}}}",
+            self.name.as_str(),
+            self.pair,
+            self.strand,
+            self.seq,
+            self.start_us,
+            self.dur_us,
+            self.items,
+            self.cells
+        )
+    }
+}
+
+/// Funnel counters maintained by the recorder (relaxed atomics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Chromosome pairs finished (computed or replayed from a journal).
+    PairsDone,
+    /// Gapped filter tiles executed.
+    FilterTiles,
+    /// DP cells spent in the gapped filter.
+    FilterCells,
+    /// Anchors that survived the filter threshold.
+    AnchorsPassed,
+    /// DP cells spent in GACT-X extension.
+    ExtensionCells,
+    /// Alignments kept after extension.
+    AlignmentsKept,
+}
+
+/// Number of [`Counter`] variants.
+pub const COUNTER_COUNT: usize = 6;
+
+/// Histogram families maintained by the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKind {
+    /// Wall-clock nanoseconds per gapped filter tile.
+    FilterTileNs,
+    /// DP cells per gapped filter tile.
+    FilterTileCells,
+    /// GACT-X tiles per extended anchor.
+    ExtendTilesPerAnchor,
+}
+
+/// Number of [`HistKind`] variants.
+pub const HIST_COUNT: usize = 3;
+
+impl HistKind {
+    /// Every histogram kind, for rendering and schema tests.
+    pub const ALL: [HistKind; HIST_COUNT] = [
+        HistKind::FilterTileNs,
+        HistKind::FilterTileCells,
+        HistKind::ExtendTilesPerAnchor,
+    ];
+
+    /// The wire name used in trace JSONL `hist` lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HistKind::FilterTileNs => "filter.tile_ns",
+            HistKind::FilterTileCells => "filter.tile_cells",
+            HistKind::ExtendTilesPerAnchor => "extend.tiles_per_anchor",
+        }
+    }
+}
+
+/// Sink for observability events. All methods default to no-ops so a
+/// recorder only implements what it wants; `Sync` because one recorder
+/// is shared by every worker thread.
+pub trait Recorder: Sync {
+    /// Whether instrumentation should run at all. [`Obs::new`] maps a
+    /// disabled recorder to the `None` fast path, so a recorder that
+    /// returns `false` here never sees another call.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Takes ownership of a batch of finished spans. Implementations
+    /// must leave `spans` empty (the buffer is reused).
+    fn flush_spans(&self, spans: &mut Vec<Span>) {
+        spans.clear();
+    }
+
+    /// Adds `n` to a funnel counter.
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Records one histogram sample.
+    fn observe(&self, hist: HistKind, value: u64) {
+        let _ = (hist, value);
+    }
+
+    /// Announces the total number of pairs the run will process, for
+    /// progress/ETA reporting.
+    fn set_total_pairs(&self, pairs: u64) {
+        let _ = pairs;
+    }
+}
+
+/// A recorder that ignores everything. Reports itself disabled, so
+/// `Obs::new(&NullRecorder)` behaves exactly like [`Obs::off`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// The observation handle threaded through the drivers.
+///
+/// `Copy` and two words wide; cloning it into worker closures is free.
+/// When disabled (`rec == None`) every method is a branch on a register
+/// — no time is read, no atomics touched.
+#[derive(Clone, Copy)]
+pub struct Obs<'a> {
+    rec: Option<&'a dyn Recorder>,
+    epoch: Instant,
+    pair: u64,
+}
+
+impl std::fmt::Debug for Obs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.rec.is_some())
+            .field("pair", &self.pair)
+            .finish()
+    }
+}
+
+impl Obs<'static> {
+    /// The disabled handle — what every pre-existing entry point uses.
+    pub fn off() -> Obs<'static> {
+        Obs {
+            rec: None,
+            epoch: Instant::now(),
+            pair: NO_PAIR,
+        }
+    }
+}
+
+impl<'a> Obs<'a> {
+    /// A handle feeding `recorder`. A recorder whose
+    /// [`Recorder::enabled`] returns `false` is folded into the
+    /// disabled fast path.
+    pub fn new(recorder: &'a dyn Recorder) -> Obs<'a> {
+        Obs {
+            rec: recorder.enabled().then_some(recorder),
+            epoch: Instant::now(),
+            pair: NO_PAIR,
+        }
+    }
+
+    /// A copy of this handle attributing subsequent spans to `pair`.
+    pub fn with_pair(self, pair: u64) -> Obs<'a> {
+        Obs { pair, ..self }
+    }
+
+    /// The pair this handle attributes spans to ([`NO_PAIR`] if unset).
+    pub fn pair(&self) -> u64 {
+        self.pair
+    }
+
+    /// Whether a live recorder is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Adds `n` to a funnel counter (no-op when disabled).
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(rec) = self.rec {
+            rec.add(counter, n);
+        }
+    }
+
+    /// Records one histogram sample (no-op when disabled).
+    #[inline]
+    pub fn observe(&self, hist: HistKind, value: u64) {
+        if let Some(rec) = self.rec {
+            rec.observe(hist, value);
+        }
+    }
+
+    /// Forwards the run's total pair count to the recorder.
+    pub fn set_total_pairs(&self, pairs: u64) {
+        if let Some(rec) = self.rec {
+            rec.set_total_pairs(pairs);
+        }
+    }
+
+    /// Starts a timer, or an inert one when disabled. The single
+    /// branch + optional clock read is the entire per-call cost on the
+    /// disabled path.
+    #[inline]
+    pub fn timer(&self) -> SpanTimer {
+        SpanTimer(self.rec.map(|_| Instant::now()))
+    }
+
+    /// Per-filter-tile instrumentation: latency + cell histograms and
+    /// the tile/cell counters. `timer` must come from [`Obs::timer`]
+    /// taken just before the tile ran.
+    #[inline]
+    pub fn filter_tile(&self, timer: &SpanTimer, cells: u64) {
+        if let (Some(rec), Some(start)) = (self.rec, timer.0) {
+            rec.observe(HistKind::FilterTileNs, start.elapsed().as_nanos() as u64);
+            rec.observe(HistKind::FilterTileCells, cells);
+            rec.add(Counter::FilterTiles, 1);
+            rec.add(Counter::FilterCells, cells);
+        }
+    }
+
+    /// Per-extended-anchor instrumentation: tiles-per-anchor histogram
+    /// and the extension cell counter.
+    #[inline]
+    pub fn extension_anchor(&self, tiles: u64, cells: u64) {
+        if let Some(rec) = self.rec {
+            rec.observe(HistKind::ExtendTilesPerAnchor, tiles);
+            rec.add(Counter::ExtensionCells, cells);
+        }
+    }
+
+    /// A fresh span buffer bound to this handle. One per worker/batch;
+    /// dropped buffers flush themselves.
+    pub fn buffer(&self) -> SpanBuf<'a> {
+        SpanBuf {
+            obs: *self,
+            spans: Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_span(
+        &self,
+        spans: &mut Vec<Span>,
+        timer: SpanTimer,
+        name: SpanName,
+        pair: u64,
+        strand: u8,
+        seq: u64,
+        items: u64,
+        cells: u64,
+    ) {
+        let Some(start) = timer.0 else { return };
+        spans.push(Span {
+            name,
+            pair,
+            strand,
+            seq,
+            start_us: start.saturating_duration_since(self.epoch).as_micros() as u64,
+            dur_us: start.elapsed().as_micros() as u64,
+            items,
+            cells,
+        });
+    }
+}
+
+/// A started (or inert) span clock from [`Obs::timer`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Option<Instant>);
+
+/// Per-worker span buffer. Spans accumulate locally and hit the shared
+/// recorder once, at [`SpanBuf::flush`] (called automatically on drop).
+pub struct SpanBuf<'a> {
+    obs: Obs<'a>,
+    spans: Vec<Span>,
+}
+
+impl std::fmt::Debug for SpanBuf<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanBuf")
+            .field("obs", &self.obs)
+            .field("buffered", &self.spans.len())
+            .finish()
+    }
+}
+
+impl SpanBuf<'_> {
+    /// Starts a timer for a span that will end in [`SpanBuf::finish`].
+    #[inline]
+    pub fn start(&self) -> SpanTimer {
+        self.obs.timer()
+    }
+
+    /// Completes a span attributed to the handle's pair.
+    pub fn finish(
+        &mut self,
+        timer: SpanTimer,
+        name: SpanName,
+        strand: u8,
+        seq: u64,
+        items: u64,
+        cells: u64,
+    ) {
+        let pair = self.obs.pair;
+        self.finish_for_pair(timer, name, pair, strand, seq, items, cells);
+    }
+
+    /// Completes a span attributed to an explicit pair (for buffers
+    /// shared across pairs, like the dataflow collector's).
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish_for_pair(
+        &mut self,
+        timer: SpanTimer,
+        name: SpanName,
+        pair: u64,
+        strand: u8,
+        seq: u64,
+        items: u64,
+        cells: u64,
+    ) {
+        let obs = self.obs;
+        obs.push_span(&mut self.spans, timer, name, pair, strand, seq, items, cells);
+    }
+
+    /// Hands buffered spans to the recorder, leaving the buffer empty.
+    pub fn flush(&mut self) {
+        if !self.spans.is_empty() {
+            if let Some(rec) = self.obs.rec {
+                rec.flush_spans(&mut self.spans);
+            } else {
+                self.spans.clear();
+            }
+        }
+    }
+}
+
+impl Drop for SpanBuf<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// The concrete recorder behind `--trace-out` / `--progress`:
+/// span list under one mutex (touched once per batch flush), relaxed
+/// atomic counters, and fixed log2 histograms.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    spans: Mutex<Vec<Span>>,
+    counters: [AtomicU64; COUNTER_COUNT],
+    hists: [Log2Histogram; HIST_COUNT],
+    total_pairs: AtomicU64,
+    started: Instant,
+}
+
+impl TraceRecorder {
+    /// An empty recorder; the progress clock starts now.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder {
+            spans: Mutex::new(Vec::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Log2Histogram::new()),
+            total_pairs: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Current value of one funnel counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// One of the recorder's histograms.
+    pub fn histogram(&self, hist: HistKind) -> &Log2Histogram {
+        &self.hists[hist as usize]
+    }
+
+    /// A copy of every span flushed so far, sorted by
+    /// `(start_us, pair, seq)` into a stable timeline.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut spans = self.spans.lock().clone();
+        spans.sort_by_key(|s| (s.start_us, s.pair, s.seq));
+        spans
+    }
+
+    /// A consistent-enough snapshot for live progress reporting.
+    pub fn progress(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            pairs_done: self.counter(Counter::PairsDone),
+            pairs_total: self.total_pairs.load(Ordering::Relaxed),
+            filter_tiles: self.counter(Counter::FilterTiles),
+            anchors_passed: self.counter(Counter::AnchorsPassed),
+            cells: self.counter(Counter::FilterCells) + self.counter(Counter::ExtensionCells),
+            elapsed_us: self.started.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Writes the full trace as JSONL: one `{"span":…}` line per span
+    /// (timeline order) followed by one `{"hist":…}` line per
+    /// histogram family. Integer fields only.
+    pub fn write_trace<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        for span in self.spans() {
+            writeln!(w, "{}", span.to_json_line())?;
+        }
+        for kind in HistKind::ALL {
+            let hist = self.histogram(kind);
+            let mut line = format!(
+                "{{\"hist\":\"{}\",\"total\":{},\"buckets\":[",
+                kind.as_str(),
+                hist.total()
+            );
+            for (i, (bucket, count)) in hist.snapshot().into_iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("[{bucket},{count}]"));
+            }
+            line.push_str("]}");
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn flush_spans(&self, spans: &mut Vec<Span>) {
+        self.spans.lock().append(spans);
+    }
+
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn observe(&self, hist: HistKind, value: u64) {
+        self.hists[hist as usize].observe(value);
+    }
+
+    fn set_total_pairs(&self, pairs: u64) {
+        self.total_pairs.store(pairs, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_folds_to_off_path() {
+        let obs = Obs::new(&NullRecorder);
+        assert!(!obs.is_enabled());
+        let timer = obs.timer();
+        obs.filter_tile(&timer, 100); // must be a no-op, not a panic
+        let mut buf = obs.buffer();
+        let t = buf.start();
+        buf.finish(t, SpanName::Seed, STRAND_FWD, 0, 1, 2);
+        buf.flush();
+        assert!(buf.spans.is_empty());
+    }
+
+    #[test]
+    fn trace_recorder_collects_spans_counters_hists() {
+        let rec = TraceRecorder::new();
+        let obs = Obs::new(&rec).with_pair(3);
+        assert!(obs.is_enabled());
+        assert_eq!(obs.pair(), 3);
+
+        let timer = obs.timer();
+        obs.filter_tile(&timer, 640);
+        obs.extension_anchor(5, 1_000);
+        obs.add(Counter::PairsDone, 1);
+
+        {
+            let mut buf = obs.buffer();
+            let t = buf.start();
+            buf.finish(t, SpanName::FilterBatch, STRAND_FWD, 7, 64, 640);
+            // drop flushes
+        }
+
+        assert_eq!(rec.counter(Counter::FilterTiles), 1);
+        assert_eq!(rec.counter(Counter::FilterCells), 640);
+        assert_eq!(rec.counter(Counter::ExtensionCells), 1_000);
+        assert_eq!(rec.counter(Counter::PairsDone), 1);
+        assert_eq!(rec.histogram(HistKind::ExtendTilesPerAnchor).total(), 1);
+        assert_eq!(rec.histogram(HistKind::FilterTileCells).total(), 1);
+
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, SpanName::FilterBatch);
+        assert_eq!(spans[0].pair, 3);
+        assert_eq!(spans[0].seq, 7);
+        assert_eq!(spans[0].items, 64);
+    }
+
+    #[test]
+    fn span_json_line_shape() {
+        let span = Span {
+            name: SpanName::ExtendTile,
+            pair: 2,
+            strand: STRAND_REV,
+            seq: 9,
+            start_us: 10,
+            dur_us: 20,
+            items: 4,
+            cells: 512,
+        };
+        assert_eq!(
+            span.to_json_line(),
+            "{\"span\":\"extend.tile\",\"pair\":2,\"strand\":1,\"seq\":9,\
+             \"start_us\":10,\"dur_us\":20,\"items\":4,\"cells\":512}"
+        );
+    }
+
+    #[test]
+    fn write_trace_is_parseable_jsonl() {
+        let rec = TraceRecorder::new();
+        let obs = Obs::new(&rec);
+        let timer = obs.timer();
+        obs.filter_tile(&timer, 64);
+        let mut buf = obs.with_pair(0).buffer();
+        let t = buf.start();
+        buf.finish(t, SpanName::Seed, STRAND_FWD, 0, 10, 0);
+        buf.flush();
+
+        let mut out = Vec::new();
+        rec.write_trace(&mut out).expect("write to Vec");
+        let text = String::from_utf8(out).expect("utf8");
+        let mut spans = 0;
+        let mut hists = 0;
+        for line in text.lines() {
+            let value = crate::journal::json::parse(line).expect("valid JSON line");
+            if value.get("span").is_some() {
+                spans += 1;
+            } else {
+                assert!(value.get("hist").is_some(), "line is span or hist");
+                hists += 1;
+            }
+        }
+        assert_eq!(spans, 1);
+        assert_eq!(hists, HIST_COUNT);
+    }
+}

@@ -22,6 +22,7 @@
 use crate::budget::{clamp_hits, deadline_event};
 use crate::config::WgaParams;
 use crate::filter_engine::FilterContext;
+use crate::obs::{strand_code, Obs, SpanName};
 use crate::pipeline::WgaPipeline;
 use crate::report::{RunEvent, StageKind, Strand, WgaReport};
 use crate::stages::{extend_anchors, timed_seed_table};
@@ -46,13 +47,40 @@ pub fn run_parallel(
     query: &Sequence,
     threads: usize,
 ) -> WgaReport {
+    run_parallel_observed(params, target, query, threads, Obs::off())
+}
+
+/// [`run_parallel`] with an observation handle; reports are identical
+/// whether `obs` is live or [`Obs::off`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the parameters are degenerate.
+pub fn run_parallel_observed(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    threads: usize,
+    obs: Obs<'_>,
+) -> WgaReport {
     assert!(threads > 0, "need at least one thread");
     if threads == 1 {
-        return WgaPipeline::new(params.clone()).run(target, query);
+        return WgaPipeline::new(params.clone()).run_observed(target, query, obs);
     }
 
+    let mut buf = obs.buffer();
+    let table_timer = buf.start();
     let (table, build_time) = timed_seed_table(params, target);
-    let mut report = run_with_table_parallel(params, &table, target, query, threads);
+    buf.finish(
+        table_timer,
+        SpanName::SeedTable,
+        crate::obs::STRAND_NA,
+        0,
+        1,
+        target.len() as u64,
+    );
+    buf.flush();
+    let mut report = run_with_table_parallel_observed(params, &table, target, query, threads, obs);
     report.timings.seeding += build_time;
     report
 }
@@ -71,20 +99,36 @@ pub fn run_with_table_parallel(
     query: &Sequence,
     threads: usize,
 ) -> WgaReport {
+    run_with_table_parallel_observed(params, table, target, query, threads, Obs::off())
+}
+
+/// [`run_with_table_parallel`] with an observation handle.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the parameters are degenerate.
+pub fn run_with_table_parallel_observed(
+    params: &WgaParams,
+    table: &SeedTable,
+    target: &Sequence,
+    query: &Sequence,
+    threads: usize,
+    obs: Obs<'_>,
+) -> WgaReport {
     assert!(threads > 0, "need at least one thread");
     if threads == 1 {
-        return WgaPipeline::new(params.clone()).run_with_table(table, target, query);
+        return WgaPipeline::new(params.clone()).run_with_table_observed(table, target, query, obs);
     }
 
     let pair_start = Instant::now();
     let mut report = WgaReport::default();
     run_strand_parallel(
-        params, table, target, query, Strand::Forward, threads, pair_start, &mut report,
+        params, table, target, query, Strand::Forward, threads, pair_start, &mut report, obs,
     );
     if params.both_strands {
         let rc = query.reverse_complement();
         run_strand_parallel(
-            params, table, target, &rc, Strand::Reverse, threads, pair_start, &mut report,
+            params, table, target, &rc, Strand::Reverse, threads, pair_start, &mut report, obs,
         );
     }
 
@@ -104,26 +148,41 @@ fn run_strand_parallel(
     threads: usize,
     pair_start: Instant,
     report: &mut WgaReport,
+    obs: Obs<'_>,
 ) {
+    let scode = strand_code(strand);
+    let mut buf = obs.buffer();
+
     // --- Seeding (serial) -------------------------------------------------
+    let seed_timer = buf.start();
     let seed_start = Instant::now();
     let seeding = dsoft_seeds(table, query, &params.dsoft);
     report.timings.seeding += seed_start.elapsed();
     report.workload.seeds += seeding.seeds_queried;
     report.counters.raw_seed_hits += seeding.raw_hits;
+    buf.finish(
+        seed_timer,
+        SpanName::Seed,
+        scode,
+        0,
+        seeding.hits.len() as u64,
+        seeding.seeds_queried,
+    );
+    buf.flush();
 
     // --- Filtering (parallel over hits) ------------------------------------
     let filter_start = Instant::now();
     let hits = clamp_hits(params, &seeding.hits, report);
-    let filtered = filter_hits_parallel(params, target, query, hits, threads, pair_start);
+    let filtered = filter_hits_parallel(params, target, query, hits, threads, pair_start, scode, obs);
     report.timings.filtering += filter_start.elapsed();
     report.workload.filter_tiles += filtered.tiles_executed;
     report.counters.hits_filtered += filtered.tiles_executed;
+    report.counters.filter_cells += filtered.cells;
     report.counters.anchors_passed += filtered.anchors.len() as u64;
     report.events.extend(filtered.events);
 
     // --- Extension (serial: absorption is stateful) -------------------------
-    extend_anchors(params, target, query, strand, filtered.anchors, pair_start, report);
+    extend_anchors(params, target, query, strand, filtered.anchors, pair_start, report, obs);
 }
 
 /// Outcome of the parallel filter dispatch.
@@ -134,6 +193,8 @@ struct FilteredHits {
     /// contribute none; deadline-stopped batches contribute their
     /// completed prefix).
     tiles_executed: u64,
+    /// DP cells evaluated across the executed tiles.
+    cells: u64,
     /// Batch failures and deadline trips observed during filtering.
     events: Vec<RunEvent>,
 }
@@ -141,8 +202,9 @@ struct FilteredHits {
 /// What one worker reports for its batch.
 enum BatchOutcome {
     /// Anchors found plus the number of hits processed (less than the
-    /// batch size when the deadline stopped the worker early).
-    Done(Vec<Anchor>, usize),
+    /// batch size when the deadline stopped the worker early) and the
+    /// DP cells those hits cost.
+    Done(Vec<Anchor>, usize, u64),
     /// The batch panicked; payload message.
     Panicked(String),
 }
@@ -152,6 +214,7 @@ enum BatchOutcome {
 /// per batch: a panicked batch is retried once serially, and a second
 /// panic drops only that batch's hits, recorded as a
 /// [`RunEvent::BatchFailed`].
+#[allow(clippy::too_many_arguments)]
 fn filter_hits_parallel(
     params: &WgaParams,
     target: &Sequence,
@@ -159,6 +222,8 @@ fn filter_hits_parallel(
     hits: &[SeedHit],
     threads: usize,
     pair_start: Instant,
+    scode: u8,
+    obs: Obs<'_>,
 ) -> FilteredHits {
     let chunk = hits.len().div_ceil(threads).max(1);
     let batches: Vec<&[SeedHit]> = hits.chunks(chunk).collect();
@@ -177,7 +242,8 @@ fn filter_hits_parallel(
             let results = &results;
             let filter_ctx = &filter_ctx;
             scope.spawn(move |_| {
-                let outcome = run_batch(params, target, query, batch, pair_start, filter_ctx);
+                let outcome =
+                    run_batch(params, target, query, batch, pair_start, filter_ctx, scode, idx, obs);
                 results.lock().push((idx, outcome));
             });
         }
@@ -192,6 +258,7 @@ fn filter_hits_parallel(
     let mut out = FilteredHits {
         anchors: Vec::new(),
         tiles_executed: 0,
+        cells: 0,
         events: Vec::new(),
     };
     let mut deadline_hit = false;
@@ -202,15 +269,16 @@ fn filter_hits_parallel(
         // often clears, and a deterministic panic will simply fire again
         // and be recorded.
         let outcome = match outcome {
-            Some(BatchOutcome::Done(anchors, processed)) => BatchOutcome::Done(anchors, processed),
+            Some(done @ BatchOutcome::Done(..)) => done,
             Some(BatchOutcome::Panicked(_)) | None => {
-                run_batch(params, target, query, batch, pair_start, &filter_ctx)
+                run_batch(params, target, query, batch, pair_start, &filter_ctx, scode, idx, obs)
             }
         };
         match outcome {
-            BatchOutcome::Done(anchors, processed) => {
+            BatchOutcome::Done(anchors, processed, cells) => {
                 out.anchors.extend(anchors);
                 out.tiles_executed += processed as u64;
+                out.cells += cells;
                 if processed < batch.len() {
                     deadline_hit = true;
                 }
@@ -234,7 +302,10 @@ fn filter_hits_parallel(
 
 /// Filters one batch of hits under `catch_unwind`, stopping early if the
 /// pair deadline passes. The whole batch shares one engine (and thus one
-/// DP scratch) drawn from the shared [`FilterContext`].
+/// DP scratch) drawn from the shared [`FilterContext`]. Spans and
+/// histogram samples go to the worker-local buffer in `obs`, flushed
+/// once at the batch boundary.
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     params: &WgaParams,
     target: &Sequence,
@@ -242,26 +313,44 @@ fn run_batch(
     batch: &[SeedHit],
     pair_start: Instant,
     filter_ctx: &FilterContext,
+    scode: u8,
+    batch_idx: usize,
+    obs: Obs<'_>,
 ) -> BatchOutcome {
     let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut buf = obs.buffer();
+        let batch_timer = buf.start();
         let mut engine = filter_ctx.engine();
         let mut anchors = Vec::new();
         let mut processed = 0usize;
+        let mut cells = 0u64;
         for &hit in batch {
             if params.budget.deadline_exceeded(pair_start) {
                 break;
             }
             #[cfg(test)]
             poison_check(hit);
-            if let Some(anchor) = engine.filter_hit(params, target, query, hit).anchor {
+            let tile_timer = obs.timer();
+            let outcome = engine.filter_hit(params, target, query, hit);
+            obs.filter_tile(&tile_timer, outcome.cells);
+            cells += outcome.cells;
+            if let Some(anchor) = outcome.anchor {
                 anchors.push(anchor);
             }
             processed += 1;
         }
-        (anchors, processed)
+        buf.finish(
+            batch_timer,
+            SpanName::FilterBatch,
+            scode,
+            batch_idx as u64,
+            processed as u64,
+            cells,
+        );
+        (anchors, processed, cells)
     }));
     match result {
-        Ok((anchors, processed)) => BatchOutcome::Done(anchors, processed),
+        Ok((anchors, processed, cells)) => BatchOutcome::Done(anchors, processed, cells),
         Err(payload) => BatchOutcome::Panicked(panic_message(payload.as_ref())),
     }
 }
@@ -363,11 +452,29 @@ mod tests {
         let mut hits: Vec<SeedHit> = (0..4).map(|i| SeedHit::new(i * 320, i * 320)).collect();
         hits.push(SeedHit::new(usize::MAX, 0));
 
-        let clean = filter_hits_parallel(&params, &t, &q, &hits[..4], 4, Instant::now());
+        let clean = filter_hits_parallel(
+            &params,
+            &t,
+            &q,
+            &hits[..4],
+            4,
+            Instant::now(),
+            crate::obs::STRAND_FWD,
+            Obs::off(),
+        );
         assert!(clean.events.is_empty());
         assert!(!clean.anchors.is_empty());
 
-        let poisoned = filter_hits_parallel(&params, &t, &q, &hits, 5, Instant::now());
+        let poisoned = filter_hits_parallel(
+            &params,
+            &t,
+            &q,
+            &hits,
+            5,
+            Instant::now(),
+            crate::obs::STRAND_FWD,
+            Obs::off(),
+        );
         let failures: Vec<_> = poisoned
             .events
             .iter()

@@ -11,6 +11,7 @@ use crate::budget::{clamp_hits, deadline_event};
 use crate::config::WgaParams;
 use crate::error::WgaResult;
 use crate::filter_engine::FilterContext;
+use crate::obs::{strand_code, Obs, SpanName, STRAND_NA};
 use crate::report::{StageKind, Strand, WgaReport};
 use crate::stages::{extend_anchors, timed_seed_table};
 use genome::Sequence;
@@ -69,8 +70,19 @@ impl WgaPipeline {
 
     /// Runs the full pipeline on one target/query pair.
     pub fn run(&self, target: &Sequence, query: &Sequence) -> WgaReport {
+        self.run_observed(target, query, Obs::off())
+    }
+
+    /// [`WgaPipeline::run`] with an observation handle. The report is
+    /// byte-identical whether `obs` is live or [`Obs::off`]; the
+    /// recorder only *watches* the run.
+    pub fn run_observed(&self, target: &Sequence, query: &Sequence, obs: Obs<'_>) -> WgaReport {
+        let mut buf = obs.buffer();
+        let table_timer = buf.start();
         let (table, build_time) = timed_seed_table(&self.params, target);
-        let mut report = self.run_with_table(&table, target, query);
+        buf.finish(table_timer, SpanName::SeedTable, STRAND_NA, 0, 1, target.len() as u64);
+        buf.flush();
+        let mut report = self.run_with_table_observed(&table, target, query, obs);
         report.timings.seeding += build_time;
         report
     }
@@ -83,12 +95,23 @@ impl WgaPipeline {
         target: &Sequence,
         query: &Sequence,
     ) -> WgaReport {
+        self.run_with_table_observed(table, target, query, Obs::off())
+    }
+
+    /// [`WgaPipeline::run_with_table`] with an observation handle.
+    pub fn run_with_table_observed(
+        &self,
+        table: &SeedTable,
+        target: &Sequence,
+        query: &Sequence,
+        obs: Obs<'_>,
+    ) -> WgaReport {
         let pair_start = Instant::now();
         let mut report = WgaReport::default();
-        self.run_strand(table, target, query, Strand::Forward, pair_start, &mut report);
+        self.run_strand(table, target, query, Strand::Forward, pair_start, &mut report, obs);
         if self.params.both_strands {
             let rc = query.reverse_complement();
-            self.run_strand(table, target, &rc, Strand::Reverse, pair_start, &mut report);
+            self.run_strand(table, target, &rc, Strand::Reverse, pair_start, &mut report, obs);
         }
         report
             .alignments
@@ -98,6 +121,7 @@ impl WgaPipeline {
 
     /// Runs seeding/filtering/extension for one query strand, appending
     /// into `report`. `pair_start` anchors the per-pair deadline budget.
+    #[allow(clippy::too_many_arguments)]
     fn run_strand(
         &self,
         table: &SeedTable,
@@ -106,17 +130,30 @@ impl WgaPipeline {
         strand: Strand,
         pair_start: Instant,
         report: &mut WgaReport,
+        obs: Obs<'_>,
     ) {
         let params = &self.params;
+        let scode = strand_code(strand);
+        let mut buf = obs.buffer();
 
         // --- Seeding ---------------------------------------------------
+        let seed_timer = buf.start();
         let seed_start = Instant::now();
         let seeding = dsoft_seeds(table, query, &params.dsoft);
         report.timings.seeding += seed_start.elapsed();
         report.workload.seeds += seeding.seeds_queried;
         report.counters.raw_seed_hits += seeding.raw_hits;
+        buf.finish(
+            seed_timer,
+            SpanName::Seed,
+            scode,
+            0,
+            seeding.hits.len() as u64,
+            seeding.seeds_queried,
+        );
 
         // --- Filtering ---------------------------------------------------
+        let batch_timer = buf.start();
         let filter_start = Instant::now();
         let hits = clamp_hits(params, &seeding.hits, report);
         // One filter context per strand (the batched engine encodes the
@@ -125,6 +162,8 @@ impl WgaPipeline {
         let filter_ctx = FilterContext::new(params, target, query);
         let mut engine = filter_ctx.engine();
         let mut anchors: Vec<Anchor> = Vec::new();
+        let mut tiles = 0u64;
+        let mut cells = 0u64;
         for &hit in hits {
             if params.budget.deadline_exceeded(pair_start) {
                 report
@@ -132,18 +171,25 @@ impl WgaPipeline {
                     .push(deadline_event(&params.budget, StageKind::Filtering, pair_start));
                 break;
             }
+            let tile_timer = obs.timer();
             let outcome = engine.filter_hit(params, target, query, hit);
+            obs.filter_tile(&tile_timer, outcome.cells);
+            tiles += 1;
+            cells += outcome.cells;
             report.workload.filter_tiles += 1;
             report.counters.hits_filtered += 1;
             if let Some(anchor) = outcome.anchor {
                 anchors.push(anchor);
             }
         }
+        report.counters.filter_cells += cells;
         report.timings.filtering += filter_start.elapsed();
         report.counters.anchors_passed += anchors.len() as u64;
+        buf.finish(batch_timer, SpanName::FilterBatch, scode, 0, tiles, cells);
+        buf.flush();
 
         // --- Extension ---------------------------------------------------
-        extend_anchors(params, target, query, strand, anchors, pair_start, report);
+        extend_anchors(params, target, query, strand, anchors, pair_start, report, obs);
     }
 }
 

@@ -151,6 +151,10 @@ pub struct FunnelCounters {
     pub raw_seed_hits: u64,
     /// Seed hits handed to the filter (one per qualifying band).
     pub hits_filtered: u64,
+    /// DP cells spent in the gapped filter. Absent (zero) in records
+    /// serialized before this field existed.
+    #[serde(default)]
+    pub filter_cells: u64,
     /// Anchors that passed the filter threshold.
     pub anchors_passed: u64,
     /// Anchors absorbed into existing alignments (not extended).
@@ -164,6 +168,7 @@ impl FunnelCounters {
     pub fn merge(&mut self, other: &FunnelCounters) {
         self.raw_seed_hits += other.raw_seed_hits;
         self.hits_filtered += other.hits_filtered;
+        self.filter_cells += other.filter_cells;
         self.anchors_passed += other.anchors_passed;
         self.anchors_absorbed += other.anchors_absorbed;
         self.alignments_kept += other.alignments_kept;
@@ -287,12 +292,14 @@ mod tests {
         let mut a = FunnelCounters {
             raw_seed_hits: 5,
             hits_filtered: 4,
+            filter_cells: 400,
             anchors_passed: 3,
             anchors_absorbed: 1,
             alignments_kept: 2,
         };
         a.merge(&a.clone());
         assert_eq!(a.raw_seed_hits, 10);
+        assert_eq!(a.filter_cells, 800);
         assert_eq!(a.alignments_kept, 4);
     }
 }

@@ -3,6 +3,7 @@
 use crate::absorb::{merge_into_kept, AbsorptionGrid};
 use crate::budget::deadline_event;
 use crate::config::{ExtensionStage, FilterStage, GappedFilterParams, WgaParams};
+use crate::obs::{strand_code, Counter, Obs, SpanName};
 use crate::report::{BudgetKind, RunEvent, StageKind, Strand, WgaAlignment, WgaReport};
 use align::banded::{banded_smith_waterman, tile_around, BandedOutcome};
 use align::gactx::{self, ExtendedAlignment, TilingParams};
@@ -154,6 +155,7 @@ pub fn run_extension(
 /// remaining (worse-scoring) anchors are skipped.
 ///
 /// `pair_start` anchors the per-pair wall-clock deadline.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn extend_anchors(
     params: &WgaParams,
     target: &Sequence,
@@ -162,14 +164,18 @@ pub(crate) fn extend_anchors(
     mut anchors: Vec<Anchor>,
     pair_start: Instant,
     report: &mut WgaReport,
+    obs: Obs<'_>,
 ) {
     let ext_start = Instant::now();
+    obs.add(Counter::AnchorsPassed, anchors.len() as u64);
+    let scode = strand_code(strand);
+    let mut buf = obs.buffer();
     // Extend best-scoring anchors first so absorption favours strong
     // alignments — and so budget truncation drops the weakest work.
     anchors.sort_by_key(|a| std::cmp::Reverse(a.filter_score));
     let mut grid = AbsorptionGrid::new();
     let mut kept: Vec<align::Alignment> = Vec::new();
-    for anchor in anchors {
+    for (seq, anchor) in anchors.into_iter().enumerate() {
         if let Some(limit) = params.budget.max_extension_cells {
             if report.workload.extension_cells >= limit {
                 report.events.push(RunEvent::BudgetExceeded {
@@ -191,9 +197,19 @@ pub(crate) fn extend_anchors(
             report.counters.anchors_absorbed += 1;
             continue;
         }
+        let anchor_timer = buf.start();
         let Some(ext) = run_extension(params, target, query, anchor) else {
             continue;
         };
+        obs.extension_anchor(ext.stats.tiles, ext.stats.cells);
+        buf.finish(
+            anchor_timer,
+            SpanName::ExtendTile,
+            scode,
+            seq as u64,
+            ext.stats.tiles,
+            ext.stats.cells,
+        );
         report.workload.extension_tiles += ext.stats.tiles;
         report.workload.extension_cells += ext.stats.cells;
         report.workload.extension_rows += ext.stats.rows;
@@ -206,6 +222,7 @@ pub(crate) fn extend_anchors(
             }
         }
     }
+    obs.add(Counter::AlignmentsKept, kept.len() as u64);
     report.counters.alignments_kept += kept.len() as u64;
     report
         .alignments

@@ -110,6 +110,13 @@ impl BswBank {
         self.num_arrays as f64 * self.array.freq_hz / cycles as f64
     }
 
+    /// Total cycles *one* array would spend filtering `tiles` tiles —
+    /// the modeled-cycle figure the observability layer reports for the
+    /// BSW stage. Divide by `num_arrays` for bank wall-clock cycles.
+    pub fn cycles_for_workload(&self, tiles: u64) -> u64 {
+        tiles * self.geometry.cycles_per_tile(&self.array)
+    }
+
     /// DRAM bandwidth demanded at full throughput, bytes/second.
     pub fn bandwidth_demand(&self) -> f64 {
         self.tiles_per_second() * self.geometry.bytes_per_tile() as f64
@@ -163,6 +170,14 @@ mod tests {
         let bw = bank.bandwidth_demand();
         // Paper quotes ~2.1 GB/s for the FPGA BSW stage.
         assert!((1.0e9..8.0e9).contains(&bw), "{bw}");
+    }
+
+    #[test]
+    fn workload_cycles_are_tiles_times_tile_cycles() {
+        let bank = BswBank::fpga();
+        let per_tile = bank.geometry.cycles_per_tile(&bank.array);
+        assert_eq!(bank.cycles_for_workload(0), 0);
+        assert_eq!(bank.cycles_for_workload(1000), 1000 * per_tile);
     }
 
     #[test]

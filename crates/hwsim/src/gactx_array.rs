@@ -73,18 +73,27 @@ impl GactXBank {
         self.num_arrays as f64 * self.array.freq_hz / cycles as f64
     }
 
+    /// Total cycles *one* array would spend on a whole extension
+    /// workload (total cells/rows over all tiles) — the modeled-cycle
+    /// figure the observability layer reports for the GACT-X stage.
+    /// An empty workload (zero tiles) is zero cycles.
+    pub fn cycles_for_workload(&self, tiles: u64, total_cells: u64, total_rows: u64) -> u64 {
+        if tiles == 0 {
+            return 0;
+        }
+        let per_tile_overhead =
+            self.array.tile_overhead_cycles + 4 * (total_rows / tiles) + self.array.num_pe as u64;
+        let npe = self.array.num_pe as u64;
+        total_cells.div_ceil(npe) + self.array.stripes(total_rows) * npe + tiles * per_tile_overhead
+    }
+
     /// Seconds to process a whole extension workload (total cells/rows
     /// over all tiles), perfectly balanced across arrays.
     pub fn seconds_for_workload(&self, tiles: u64, total_cells: u64, total_rows: u64) -> f64 {
         if tiles == 0 {
             return 0.0;
         }
-        let per_tile_overhead =
-            self.array.tile_overhead_cycles + 4 * (total_rows / tiles) + self.array.num_pe as u64;
-        let npe = self.array.num_pe as u64;
-        let cycles = total_cells.div_ceil(npe)
-            + self.array.stripes(total_rows) * npe
-            + tiles * per_tile_overhead;
+        let cycles = self.cycles_for_workload(tiles, total_cells, total_rows);
         self.array.cycles_to_seconds(cycles) / self.num_arrays as f64
     }
 
@@ -150,5 +159,15 @@ mod tests {
     #[test]
     fn empty_workload_is_free() {
         assert_eq!(GactXBank::fpga().seconds_for_workload(0, 0, 0), 0.0);
+        assert_eq!(GactXBank::fpga().cycles_for_workload(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn seconds_follow_from_workload_cycles() {
+        let bank = GactXBank::fpga();
+        let (tiles, cells, rows) = (1000u64, 1_000_000_000u64, 1_000_000u64);
+        let cycles = bank.cycles_for_workload(tiles, cells, rows);
+        let expect = bank.array.cycles_to_seconds(cycles) / bank.num_arrays as f64;
+        assert_eq!(bank.seconds_for_workload(tiles, cells, rows), expect);
     }
 }

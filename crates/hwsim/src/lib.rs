@@ -47,5 +47,5 @@ pub mod rtl_gactx;
 pub mod schedule;
 pub mod systolic;
 
-pub use perf::{RuntimeBreakdown, SoftwareThroughput, Workload};
+pub use perf::{ModeledCycles, RuntimeBreakdown, SoftwareThroughput, Workload};
 pub use platform::{AcceleratorConfig, CpuConfig};

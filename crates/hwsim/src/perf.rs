@@ -158,6 +158,36 @@ pub fn accelerator_run_cost(seconds: f64, acc: &AcceleratorConfig) -> RunCost {
     }
 }
 
+/// Modeled accelerator cycle counts for one workload, one figure per
+/// offloaded stage. Integer by construction, so trace consumers can diff
+/// them across runs; the observability layer emits them as `hwsim.bsw` /
+/// `hwsim.gactx` trace spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeledCycles {
+    /// Filter tiles offloaded to the BSW bank.
+    pub bsw_tiles: u64,
+    /// Single-array cycles the BSW bank spends on them.
+    pub bsw_cycles: u64,
+    /// Extension tiles offloaded to the GACT-X bank.
+    pub gactx_tiles: u64,
+    /// Single-array cycles the GACT-X bank spends on them.
+    pub gactx_cycles: u64,
+}
+
+/// Rolls a measured [`Workload`] through the accelerator cycle models.
+pub fn modeled_cycles(workload: &Workload, acc: &AcceleratorConfig) -> ModeledCycles {
+    ModeledCycles {
+        bsw_tiles: workload.filter_tiles,
+        bsw_cycles: acc.bsw.cycles_for_workload(workload.filter_tiles),
+        gactx_tiles: workload.extension_tiles,
+        gactx_cycles: acc.gactx.cycles_for_workload(
+            workload.extension_tiles,
+            workload.extension_cells,
+            workload.extension_rows,
+        ),
+    }
+}
+
 fn safe_div(num: f64, den: f64) -> f64 {
     if den <= 0.0 {
         0.0
@@ -240,6 +270,22 @@ mod tests {
         let asic = accelerator_run_cost(10.0, &AcceleratorConfig::asic());
         assert_eq!(asic.dollars, None);
         assert!((asic.joules - 433.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn modeled_cycles_track_the_bank_models() {
+        let w = sample_workload();
+        let acc = AcceleratorConfig::fpga();
+        let m = modeled_cycles(&w, &acc);
+        assert_eq!(m.bsw_tiles, w.filter_tiles);
+        assert_eq!(m.bsw_cycles, acc.bsw.cycles_for_workload(w.filter_tiles));
+        assert_eq!(
+            m.gactx_cycles,
+            acc.gactx
+                .cycles_for_workload(w.extension_tiles, w.extension_cells, w.extension_rows)
+        );
+        assert!(m.bsw_cycles > 0 && m.gactx_cycles > 0);
+        assert_eq!(modeled_cycles(&Workload::default(), &acc), ModeledCycles::default());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!
 //! wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
 //!           [--executor barrier|dataflow] [--queue-depth N]
-//!           [--metrics-out metrics.json]
+//!           [--metrics-out metrics.json] [--trace-out trace.jsonl]
+//!           [--progress]
 //!           [--filter-engine scalar|batched] [--checkpoint run.journal]
 //!           [--max-seed-hits N] [--max-filter-tiles N]
 //!           [--max-extension-cells N] [--deadline-ms N]
@@ -19,8 +20,12 @@
 //!     (default) fans out only the filter stage; `dataflow` streams
 //!     seeding, filtering and extension concurrently through bounded
 //!     queues of capacity --queue-depth (results are byte-identical
-//!     either way). --metrics-out writes the dataflow executor's
-//!     per-stage telemetry as JSON. --filter-engine picks the BSW
+//!     either way). --metrics-out writes the executor's per-stage
+//!     telemetry as JSON (every executor). --trace-out writes one JSON
+//!     line per pipeline span plus latency histograms (see DESIGN.md
+//!     "Observability"). --progress keeps a throttled one-line status on
+//!     stderr: pairs done, live cells/s, filter survival, ETA. Neither
+//!     flag changes results. --filter-engine picks the BSW
 //!     implementation for gapped filtering (default `batched`, the
 //!     wavefront engine; results are identical either way). --checkpoint
 //!     makes completed pairs durable in a journal so an interrupted run
@@ -36,16 +41,19 @@
 use darwin_wga::chain::chainer::chain_alignments;
 use darwin_wga::chain::metrics;
 use darwin_wga::core::dataflow::{ExecutorKind, DEFAULT_QUEUE_DEPTH};
-use darwin_wga::core::genome_pipeline::{align_assemblies_with, AlignOptions};
+use darwin_wga::core::genome_pipeline::{align_assemblies_observed, AlignOptions};
+use darwin_wga::core::obs::{Obs, ProgressMeter, SpanName, TraceRecorder, NO_PAIR, STRAND_NA};
 use darwin_wga::core::report::RunOutcome;
 use darwin_wga::core::{config::WgaParams, maf};
 use darwin_wga::genome::assembly::Assembly;
 use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
 use darwin_wga::genome::{fasta, Sequence};
+use darwin_wga::hwsim;
 use rand::SeedableRng;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write as _};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,7 +81,7 @@ usage:
   wga generate <prefix> [--len N] [--distance D] [--seed S]
   wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
             [--executor barrier|dataflow] [--queue-depth N]
-            [--metrics-out metrics.json]
+            [--metrics-out metrics.json] [--trace-out trace.jsonl] [--progress]
             [--filter-engine scalar|batched] [--checkpoint run.journal]
             [--max-seed-hits N] [--max-filter-tiles N]
             [--max-extension-cells N] [--deadline-ms N]
@@ -266,6 +274,8 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     let executor: ExecutorKind = parse_opt(&mut args, "--executor", ExecutorKind::Barrier)?;
     let queue_depth: usize = parse_opt(&mut args, "--queue-depth", DEFAULT_QUEUE_DEPTH)?;
     let metrics_out = take_opt(&mut args, "--metrics-out")?;
+    let trace_out = take_opt(&mut args, "--trace-out")?;
+    let progress = take_flag(&mut args, "--progress");
     let maf_path = take_opt(&mut args, "--maf")?;
     let filter_engine = take_opt(&mut args, "--filter-engine")?;
     let checkpoint = take_opt(&mut args, "--checkpoint")?;
@@ -300,9 +310,28 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     params.budget.deadline = parse_u64("--deadline-ms", deadline_ms)?
         .map(std::time::Duration::from_millis);
     params.validate().map_err(|e| e.to_string())?;
-    if metrics_out.is_some() && executor != ExecutorKind::Dataflow {
-        return Err("--metrics-out requires --executor dataflow".into());
-    }
+    // Open output files up front so an unwritable path fails before the
+    // run, not after hours of alignment.
+    let open_out = |path: &Option<String>| -> Result<Option<File>, String> {
+        path.as_ref()
+            .map(|p| File::create(p).map_err(|e| format!("{p}: {e}")))
+            .transpose()
+    };
+    let mut metrics_file = open_out(&metrics_out)?;
+    let mut trace_file = open_out(&trace_out)?;
+    let recorder: Option<Arc<TraceRecorder>> =
+        (trace_file.is_some() || progress).then(TraceRecorder::new).map(Arc::new);
+    let obs = match &recorder {
+        Some(rec) => Obs::new(rec.as_ref()),
+        None => Obs::off(),
+    };
+    let meter = if progress {
+        recorder
+            .clone()
+            .map(|rec| ProgressMeter::start(rec, std::time::Duration::from_millis(200)))
+    } else {
+        None
+    };
     let options = AlignOptions {
         threads,
         checkpoint: checkpoint.map(std::path::PathBuf::from),
@@ -321,8 +350,11 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     );
 
     let start = std::time::Instant::now();
-    let report =
-        align_assemblies_with(&params, &target, &query, &options).map_err(|e| e.to_string())?;
+    let result = align_assemblies_observed(&params, &target, &query, &options, obs);
+    if let Some(meter) = meter {
+        meter.finish();
+    }
+    let report = result.map_err(|e| e.to_string())?;
     let wall = start.elapsed();
 
     println!("== run summary");
@@ -341,8 +373,8 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     );
     if let Some(metrics) = &report.stage_metrics {
         println!("{}", metrics.summary());
-        if let Some(path) = &metrics_out {
-            std::fs::write(path, format!("{}\n", metrics.to_json()))
+        if let (Some(file), Some(path)) = (metrics_file.as_mut(), metrics_out.as_ref()) {
+            file.write_all(format!("{}\n", metrics.to_json()).as_bytes())
                 .map_err(|e| format!("{path}: {e}"))?;
             println!("stage metrics written to {path}");
         }
@@ -364,8 +396,10 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     }
 
     // Per chromosome pair: chain and summarise.
-    for tchrom in target.chromosomes() {
-        for qchrom in query.chromosomes() {
+    let qn = query.chromosomes().len();
+    let mut chain_buf = obs.buffer();
+    for (ti, tchrom) in target.chromosomes().iter().enumerate() {
+        for (qi, qchrom) in query.chromosomes().iter().enumerate() {
             let alignments: Vec<_> = report
                 .for_pair(&tchrom.name, &qchrom.name)
                 .iter()
@@ -374,7 +408,17 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
             if alignments.is_empty() {
                 continue;
             }
+            let chain_timer = chain_buf.start();
             let chains = chain_alignments(&alignments, 3000);
+            chain_buf.finish_for_pair(
+                chain_timer,
+                SpanName::Chain,
+                (ti * qn + qi) as u64,
+                STRAND_NA,
+                0,
+                chains.len() as u64,
+                alignments.len() as u64,
+            );
             println!(
                 "== {} vs {}: {} alignments, {} chains, {} unique matched bp",
                 tchrom.name,
@@ -397,9 +441,9 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    chain_buf.flush();
 
     if let Some(path) = maf_path {
-        use std::io::Write as _;
         let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
         let mut out = BufWriter::new(file);
         writeln!(out, "##maf version=1 scoring=darwin-wga").map_err(|e| format!("{path}: {e}"))?;
@@ -425,6 +469,42 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
             }
         }
         println!("MAF written to {path}");
+    }
+
+    if let Some(rec) = &recorder {
+        // Roll the measured workload through the accelerator cycle models
+        // and record the result as hwsim spans before the trace is
+        // written.
+        let acc = hwsim::AcceleratorConfig::fpga();
+        let modeled = hwsim::perf::modeled_cycles(&report.workload, &acc);
+        let mut buf = obs.buffer();
+        let bsw_timer = buf.start();
+        buf.finish_for_pair(
+            bsw_timer,
+            SpanName::HwsimBsw,
+            NO_PAIR,
+            STRAND_NA,
+            0,
+            modeled.bsw_tiles,
+            modeled.bsw_cycles,
+        );
+        let gactx_timer = buf.start();
+        buf.finish_for_pair(
+            gactx_timer,
+            SpanName::HwsimGactx,
+            NO_PAIR,
+            STRAND_NA,
+            0,
+            modeled.gactx_tiles,
+            modeled.gactx_cycles,
+        );
+        buf.flush();
+        if let (Some(file), Some(path)) = (trace_file.as_mut(), trace_out.as_ref()) {
+            let mut w = BufWriter::new(file);
+            rec.write_trace(&mut w).map_err(|e| format!("{path}: {e}"))?;
+            w.flush().map_err(|e| format!("{path}: {e}"))?;
+            println!("trace written to {path}");
+        }
     }
     Ok(())
 }

@@ -217,6 +217,67 @@ mod cli {
         assert!(stderr.contains("invalid configuration"), "stderr: {stderr}");
     }
 
+    /// `--metrics-out` / `--trace-out` pointing at an unwritable path
+    /// must fail before the run starts: exactly one stderr line means
+    /// the "aligning ..." banner (printed after the files are opened)
+    /// never appeared.
+    #[test]
+    fn align_metrics_out_fails_fast_on_unwritable_path() {
+        let good = tmp("obs-good.fa", ">chr1\nACGTACGT\n");
+        let missing = std::env::temp_dir()
+            .join(format!("wga-edge-no-such-dir-{}", std::process::id()))
+            .join("m.json");
+        let out = wga(&[
+            "align",
+            good.to_str().unwrap(),
+            good.to_str().unwrap(),
+            "--metrics-out",
+            missing.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "m.json");
+    }
+
+    #[test]
+    fn align_trace_out_fails_fast_on_unwritable_path() {
+        let good = tmp("obs-trace-good.fa", ">chr1\nACGTACGT\n");
+        let missing = std::env::temp_dir()
+            .join(format!("wga-edge-no-such-dir-{}", std::process::id()))
+            .join("t.jsonl");
+        let out = wga(&[
+            "align",
+            good.to_str().unwrap(),
+            good.to_str().unwrap(),
+            "--trace-out",
+            missing.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "t.jsonl");
+    }
+
+    /// `--metrics-out` is no longer gated on the dataflow executor.
+    #[test]
+    fn align_metrics_out_works_on_the_barrier_executor() {
+        let core = "ACGGTCAGTCGATTGCAGTCCATGGACTGATC".repeat(40);
+        let fa = tmp("obs-metrics.fa", &format!(">chr1\n{core}\n"));
+        let metrics = std::env::temp_dir().join(format!(
+            "wga-edge-metrics-{}.json",
+            std::process::id()
+        ));
+        let out = wga(&[
+            "align",
+            fa.to_str().unwrap(),
+            fa.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        let _ = std::fs::remove_file(&metrics);
+        assert!(json.contains("\"executor\":\"barrier\""), "{json}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("stage metrics"), "stdout: {stdout}");
+    }
+
     #[test]
     fn align_accepts_crlf_lowercase_and_n_runs() {
         let core = "ACGGTCAGTCGATTGCAGTCCATGGACTGATC".repeat(40);

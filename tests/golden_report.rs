@@ -144,11 +144,11 @@ fn golden_report_is_stable_across_engines_and_threads() {
                 got.len(),
                 expected.len()
             );
-            assert_eq!(
-                report.stage_metrics.is_some(),
-                executor == ExecutorKind::Dataflow,
-                "only dataflow runs carry stage metrics"
-            );
+            let metrics = report
+                .stage_metrics
+                .expect("every executor reports stage metrics");
+            assert_eq!(metrics.executor, executor, "metrics tag their executor");
+            assert_eq!(metrics.threads, threads);
         }
     }
 }

@@ -1,0 +1,262 @@
+//! Integration tests for the observability layer (`wga_core::obs`).
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Inertness** — running with a live [`TraceRecorder`] produces a
+//!    report byte-identical to the checked-in golden report (and hence to
+//!    a recorder-off run) on every executor and thread count. The
+//!    observability layer may observe; it may never perturb.
+//! 2. **Trace schema** — `TraceRecorder::write_trace` emits JSONL that
+//!    the repo's own JSON parser accepts: every span line carries the
+//!    full integer field set and a known span name; every histogram line
+//!    carries sorted log2 buckets that sum to its total.
+//! 3. **Metrics universality** — every executor reports
+//!    [`ExecutorMetrics`] whose JSON round-trips through the parser and
+//!    is tagged with the executor that produced it.
+
+use darwin_wga::core::config::WgaParams;
+use darwin_wga::core::dataflow::ExecutorKind;
+use darwin_wga::core::genome_pipeline::{align_assemblies_observed, AlignOptions};
+use darwin_wga::core::journal::json::{self, Json};
+use darwin_wga::core::obs::{
+    Counter, HistKind, Log2Histogram, Obs, SpanName, TraceRecorder, STRAND_NA,
+};
+use darwin_wga::genome::assembly::Assembly;
+use std::fs;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn data_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data")
+}
+
+fn load_assembly(name: &str, file: &str) -> Assembly {
+    let path = data_dir().join(file);
+    let reader = BufReader::new(fs::File::open(&path).expect("golden FASTA present"));
+    Assembly::from_fasta(name, reader).expect("checked-in FASTA parses")
+}
+
+fn golden_inputs() -> (Assembly, Assembly, String) {
+    let target = load_assembly("golden-target", "golden.target.fa");
+    let query = load_assembly("golden-query", "golden.query.fa");
+    let expected = fs::read_to_string(data_dir().join("golden.report.txt"))
+        .expect("golden.report.txt present");
+    (target, query, expected)
+}
+
+fn int_field(obj: &Json, key: &str) -> i128 {
+    obj.get(key)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {obj:?}"))
+        .as_int()
+        .unwrap_or_else(|| panic!("field {key:?} is not an integer in {obj:?}"))
+}
+
+/// Recorder on vs recorder off: same bytes, every executor, 1 and 3
+/// threads — the "provably inert" acceptance gate.
+#[test]
+fn golden_report_is_identical_with_recorder_on() {
+    let (target, query, expected) = golden_inputs();
+    let params = WgaParams::darwin_wga();
+    for executor in [ExecutorKind::Barrier, ExecutorKind::Dataflow] {
+        for threads in [1usize, 3] {
+            let options = AlignOptions {
+                threads,
+                executor,
+                ..AlignOptions::default()
+            };
+            let recorder = TraceRecorder::new();
+            let observed =
+                align_assemblies_observed(&params, &target, &query, &options, Obs::new(&recorder))
+                    .expect("observed run succeeds");
+            assert_eq!(
+                observed.canonical_text(),
+                expected,
+                "{executor:?}/{threads}t: recorder changed the report"
+            );
+            // The recorder actually saw the run, i.e. the comparison
+            // above exercised live instrumentation, not a no-op.
+            assert_eq!(recorder.counter(Counter::PairsDone), 4);
+            assert!(recorder.counter(Counter::FilterTiles) > 0);
+            assert!(!recorder.spans().is_empty());
+        }
+    }
+}
+
+/// Every span line in the trace parses, uses a known span name, and
+/// carries the full integer schema; histogram lines carry sorted buckets
+/// summing to their totals.
+#[test]
+fn trace_jsonl_matches_schema() {
+    let (target, query, _) = golden_inputs();
+    let recorder = TraceRecorder::new();
+    let report = align_assemblies_observed(
+        &WgaParams::darwin_wga(),
+        &target,
+        &query,
+        &AlignOptions::default(),
+        Obs::new(&recorder),
+    )
+    .expect("run succeeds");
+    assert!(!report.alignments.is_empty());
+
+    let mut out = Vec::new();
+    recorder.write_trace(&mut out).expect("trace writes");
+    let text = String::from_utf8(out).expect("trace is UTF-8");
+
+    let known: Vec<&str> = SpanName::ALL.iter().map(|n| n.as_str()).collect();
+    let known_hists: Vec<&str> = HistKind::ALL.iter().map(|h| h.as_str()).collect();
+    let mut seen_spans = Vec::new();
+    let mut seen_hists = Vec::new();
+    for line in text.lines() {
+        let doc = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        if let Some(name) = doc.get("span").and_then(Json::as_str) {
+            assert!(known.contains(&name), "unknown span name {name:?}");
+            for key in ["pair", "strand", "seq", "start_us", "dur_us", "items", "cells"] {
+                assert!(int_field(&doc, key) >= 0, "{name}: negative {key}");
+            }
+            let strand = int_field(&doc, "strand");
+            assert!((0..=2).contains(&strand), "strand code out of range");
+            seen_spans.push(name.to_string());
+        } else if let Some(name) = doc.get("hist").and_then(Json::as_str) {
+            assert!(known_hists.contains(&name), "unknown histogram {name:?}");
+            let total = int_field(&doc, "total");
+            let buckets = doc.get("buckets").and_then(Json::as_arr).expect("buckets");
+            let mut sum = 0i128;
+            let mut last_bucket = -1i128;
+            for entry in buckets {
+                let pair = entry.as_arr().expect("bucket entry is [index, count]");
+                assert_eq!(pair.len(), 2);
+                let (b, c) = (pair[0].as_int().unwrap(), pair[1].as_int().unwrap());
+                assert!(b > last_bucket, "buckets not strictly ascending");
+                assert!(c > 0, "empty buckets must be omitted");
+                last_bucket = b;
+                sum += c;
+            }
+            assert_eq!(sum, total, "{name}: bucket counts must sum to total");
+            seen_hists.push(name.to_string());
+        } else {
+            panic!("line is neither a span nor a histogram: {line:?}");
+        }
+    }
+    // The serial golden run must produce the core span taxonomy…
+    for required in ["seed.table", "seed", "filter.batch", "extend.tile"] {
+        assert!(
+            seen_spans.iter().any(|s| s == required),
+            "required span {required:?} missing from trace"
+        );
+    }
+    // …and one line per histogram kind.
+    for required in known_hists {
+        assert_eq!(
+            seen_hists.iter().filter(|h| *h == required).count(),
+            1,
+            "expected exactly one {required:?} line"
+        );
+    }
+}
+
+/// A checkpointed run emits `checkpoint` spans, one per computed pair.
+#[test]
+fn checkpointed_run_traces_checkpoint_spans() {
+    let (target, query, _) = golden_inputs();
+    let path = std::env::temp_dir().join(format!("wga-obs-ckpt-{}.jsonl", std::process::id()));
+    let _ = fs::remove_file(&path);
+    let recorder = TraceRecorder::new();
+    align_assemblies_observed(
+        &WgaParams::darwin_wga(),
+        &target,
+        &query,
+        &AlignOptions {
+            checkpoint: Some(path.clone()),
+            ..AlignOptions::default()
+        },
+        Obs::new(&recorder),
+    )
+    .expect("run succeeds");
+    let _ = fs::remove_file(&path);
+    let checkpoints = recorder
+        .spans()
+        .iter()
+        .filter(|s| s.name == SpanName::Checkpoint)
+        .count();
+    assert_eq!(checkpoints, 4, "one checkpoint span per journaled pair");
+}
+
+/// Every executor emits metrics; the JSON parses and names its executor.
+#[test]
+fn metrics_json_is_valid_on_every_executor() {
+    let (target, query, _) = golden_inputs();
+    for (executor, tag) in [(ExecutorKind::Barrier, "barrier"), (ExecutorKind::Dataflow, "dataflow")]
+    {
+        let options = AlignOptions {
+            threads: 2,
+            executor,
+            ..AlignOptions::default()
+        };
+        let report = align_assemblies_observed(
+            &WgaParams::darwin_wga(),
+            &target,
+            &query,
+            &options,
+            Obs::off(),
+        )
+        .expect("run succeeds");
+        let metrics = report.stage_metrics.expect("metrics on every executor");
+        assert_eq!(metrics.executor, executor);
+        let doc = json::parse(&metrics.to_json()).expect("metrics JSON parses");
+        assert_eq!(doc.get("executor").and_then(Json::as_str), Some(tag));
+        for stage in ["seeding", "filtering", "extension"] {
+            let s = doc.get(stage).unwrap_or_else(|| panic!("missing {stage}"));
+            for key in ["workers", "items", "cells", "busy_us", "idle_us", "max_queue_occupancy"] {
+                assert!(int_field(s, key) >= 0);
+            }
+        }
+        // Both executors agree on what work the run contained.
+        assert_eq!(metrics.filtering.items, report.workload.filter_tiles);
+        assert_eq!(metrics.seeding.cells, report.workload.seeds);
+    }
+}
+
+/// Log2 histogram boundary behaviour via the public API: 0 → bucket 0,
+/// powers of two open new buckets, `u64::MAX` lands in the last one.
+#[test]
+fn histogram_bucket_boundaries() {
+    let h = Log2Histogram::new();
+    for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+        h.observe(v);
+    }
+    assert_eq!(h.total(), 8);
+    let snapshot = h.snapshot();
+    // 0→b0; 1→b1; 2,3→b2; 4→b3; 1023→b10; 1024→b11; MAX→b64.
+    assert_eq!(
+        snapshot,
+        vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1), (11, 1), (64, 1)]
+    );
+    for (bucket, _) in snapshot {
+        let lower = Log2Histogram::bucket_lower_bound(bucket);
+        if bucket > 0 {
+            assert_eq!(Log2Histogram::bucket_index(lower), bucket);
+        }
+    }
+}
+
+/// `Span::to_json_line` is the schema: field order and integer-only
+/// rendering pinned byte-for-byte so external consumers can rely on it.
+#[test]
+fn span_line_is_byte_stable() {
+    let recorder = TraceRecorder::new();
+    let obs = Obs::new(&recorder).with_pair(3);
+    let mut buf = obs.buffer();
+    let timer = buf.start();
+    buf.finish(timer, SpanName::Chain, STRAND_NA, 7, 2, 99);
+    buf.flush();
+    let spans = recorder.spans();
+    assert_eq!(spans.len(), 1);
+    let line = spans[0].to_json_line();
+    let doc = json::parse(&line).expect("span line parses");
+    assert_eq!(doc.get("span").and_then(Json::as_str), Some("chain"));
+    assert_eq!(int_field(&doc, "pair"), 3);
+    assert_eq!(int_field(&doc, "seq"), 7);
+    assert_eq!(int_field(&doc, "items"), 2);
+    assert_eq!(int_field(&doc, "cells"), 99);
+}
