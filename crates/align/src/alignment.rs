@@ -65,6 +65,7 @@ impl Alignment {
     }
 
     /// Fraction of aligned pairs that match.
+    // lint: allow(determinism): display-only fraction; canonical_text carries score + CIGAR, never this value
     pub fn identity(&self) -> f64 {
         self.cigar.identity()
     }

@@ -11,6 +11,8 @@
 //! sensitivity improvement: indels inside the band no longer kill a true
 //! positive.
 
+// lint: hot — allocation-free inner loops are this kernel's whole point
+
 use genome::{Base, GapPenalties, SubstitutionMatrix};
 
 const NEG_INF: i32 = i32::MIN / 4;

@@ -24,6 +24,8 @@
 //! differential-oracle harness (`tests/bsw_differential.rs`) enforces over
 //! thousands of random and adversarial tiles.
 
+// lint: hot — allocation-free inner loops are this kernel's whole point
+
 use crate::banded::BandedOutcome;
 use genome::{Base, GapPenalties, SubstitutionMatrix};
 

@@ -165,6 +165,7 @@ impl Cigar {
     }
 
     /// Fraction of aligned pairs that match (0 when nothing is aligned).
+    // lint: allow(determinism): display-only fraction; canonical_text carries score + CIGAR, never this value
     pub fn identity(&self) -> f64 {
         let aligned = self.aligned_pairs();
         if aligned == 0 {

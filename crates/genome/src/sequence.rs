@@ -118,6 +118,7 @@ impl Sequence {
 
     /// Fraction of bases that are `G` or `C` (ambiguous bases excluded from
     /// the denominator). Returns 0.0 for sequences with no unambiguous bases.
+    // lint: allow(determinism): stats display only — never feeds canonical output; one IEEE-exact division
     pub fn gc_content(&self) -> f64 {
         let mut gc = 0usize;
         let mut total = 0usize;
@@ -298,7 +299,7 @@ mod tests {
     fn packed3_round_trip() {
         let s: Sequence = "ACGTNACGTTGCAACGTN".parse().unwrap();
         let (packed, len) = s.to_packed3();
-        assert!(packed.len() <= (len * 3 + 7) / 8);
+        assert!(packed.len() <= (len * 3).div_ceil(8));
         assert_eq!(Sequence::from_packed3(&packed, len), s);
     }
 

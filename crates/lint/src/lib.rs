@@ -1,0 +1,350 @@
+//! `wga-lint` — project-invariant static analyzer for the Darwin-WGA
+//! workspace.
+//!
+//! Five rules, all driven by the hand-rolled lexer in [`lexer`] and
+//! configured by the checked-in manifest (`scripts/wga-lint.manifest`):
+//!
+//! * **panics** — `.unwrap()`/`.expect(`/`panic!`-family in non-test
+//!   library code, with per-directory baselines for pre-existing sites
+//!   and zero tolerance in `[panics-forbidden]` dirs (obs).
+//! * **determinism** — hash-map/set iteration, wall-clock reads and
+//!   float use in the manifest's `[determinism]` module set (the code
+//!   that feeds `canonical_text`).
+//! * **deadlock** — the dataflow stage→queue graph must be acyclic and
+//!   no bounded-queue push may happen under a held lock guard.
+//! * **hot-loop** — no allocation/formatting in loop bodies of files
+//!   tagged `// lint: hot`.
+//! * **unsafe** — every `unsafe` needs a `// SAFETY:` comment.
+//!
+//! Any rule can be waived per site with
+//! `// lint: allow(<rule>): <why>` — the *why* is mandatory.
+
+pub mod config;
+pub mod deadlock;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, LintError};
+
+/// All rule names, in reporting order.
+pub const RULES: &[&str] = &["panics", "determinism", "deadlock", "hot-loop", "unsafe"];
+
+/// What became of one rule hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteStatus {
+    /// Counts against the exit code.
+    Violation,
+    /// Covered by a `// lint: allow(...)` waiver.
+    Waived,
+    /// Absorbed by a per-directory panic baseline.
+    Baselined,
+}
+
+/// One rule hit, resolved.
+#[derive(Debug)]
+pub struct Site {
+    pub rule: &'static str,
+    /// Root-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+    pub status: SiteStatus,
+}
+
+/// Per-rule counters for the report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RuleStats {
+    pub found: usize,
+    pub waived: usize,
+    pub baselined: usize,
+    pub violations: usize,
+}
+
+/// Full analysis result.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub files_scanned: usize,
+    pub sites: Vec<Site>,
+    /// Panic accounting per baseline directory:
+    /// (dir, non-waived sites found, allowed).
+    pub baseline_dirs: Vec<(String, usize, usize)>,
+    /// Deadlock-rule graph shape.
+    pub queues: usize,
+    pub edges: usize,
+    pub cycles: usize,
+    /// Files carrying `// lint: hot`.
+    pub hot_files: usize,
+    /// Rules that actually ran, in [`RULES`] order.
+    pub enabled: Vec<&'static str>,
+}
+
+impl Analysis {
+    /// Counters for one rule.
+    pub fn stats(&self, rule: &str) -> RuleStats {
+        let mut s = RuleStats::default();
+        for site in self.sites.iter().filter(|s| s.rule == rule) {
+            s.found += 1;
+            match site.status {
+                SiteStatus::Violation => s.violations += 1,
+                SiteStatus::Waived => s.waived += 1,
+                SiteStatus::Baselined => s.baselined += 1,
+            }
+        }
+        s
+    }
+
+    /// Non-waived, non-baselined site count — the exit-code driver.
+    pub fn total_violations(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.status == SiteStatus::Violation)
+            .count()
+    }
+}
+
+/// Recursively collects `.rs` files under `root/rel`, sorted by name
+/// so every run visits files in the same order.
+fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let abs = root.join(rel);
+    let rd = fs::read_dir(&abs).map_err(|e| LintError::Io {
+        path: abs.clone(),
+        msg: e.to_string(),
+    })?;
+    let mut names: Vec<(bool, String)> = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: abs.clone(),
+            msg: e.to_string(),
+        })?;
+        let is_dir = entry
+            .file_type()
+            .map_err(|e| LintError::Io {
+                path: entry.path(),
+                msg: e.to_string(),
+            })?
+            .is_dir();
+        if let Some(name) = entry.file_name().to_str() {
+            names.push((is_dir, name.to_string()));
+        }
+    }
+    names.sort();
+    for (is_dir, name) in names {
+        let child = rel.join(&name);
+        if is_dir {
+            walk(root, &child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the enabled rules over every file the manifest scans.
+pub fn run(cfg: &Config, enabled: &[&'static str]) -> Result<Analysis, LintError> {
+    let mut analysis = Analysis {
+        enabled: RULES
+            .iter()
+            .filter(|r| enabled.contains(r))
+            .copied()
+            .collect(),
+        ..Analysis::default()
+    };
+    let on = |rule: &str| analysis.enabled.contains(&rule);
+
+    // Collect and read every scanned file first; lexes borrow sources.
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in &cfg.scan_dirs {
+        walk(&cfg.root, dir, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut sources: Vec<String> = Vec::with_capacity(files.len());
+    for rel in &files {
+        let abs = cfg.root.join(rel);
+        let src = fs::read_to_string(&abs).map_err(|e| LintError::Io {
+            path: abs,
+            msg: e.to_string(),
+        })?;
+        sources.push(src);
+    }
+    let lexed: Vec<lexer::Lexed<'_>> = sources.iter().map(|s| lex_source(s)).collect();
+    let dirs: Vec<rules::Directives> = lexed.iter().map(rules::scan_directives).collect();
+    analysis.files_scanned = files.len();
+    analysis.hot_files = dirs.iter().filter(|d| d.hot).count();
+
+    let rel_str =
+        |p: &Path| -> String { p.to_string_lossy().replace('\\', "/") };
+
+    // --- panics: per-file sites, then baseline aggregation ----------
+    if on("panics") {
+        // Non-waived site indexes grouped by baseline directory.
+        let mut groups: BTreeMap<PathBuf, (usize, Vec<usize>)> = BTreeMap::new();
+        for ((rel, lx), dir) in files.iter().zip(&lexed).zip(&dirs) {
+            if Config::under_any(rel, &cfg.panics_exempt) {
+                continue;
+            }
+            let forbidden = Config::under_any(rel, &cfg.panics_forbidden);
+            for raw in rules::panics(lx, dir) {
+                if raw.waived {
+                    analysis.sites.push(Site {
+                        rule: "panics",
+                        file: rel_str(rel),
+                        line: raw.line,
+                        msg: raw.msg,
+                        status: SiteStatus::Waived,
+                    });
+                } else if forbidden {
+                    analysis.sites.push(Site {
+                        rule: "panics",
+                        file: rel_str(rel),
+                        line: raw.line,
+                        msg: format!("{} — in a panic-forbidden directory", raw.msg),
+                        status: SiteStatus::Violation,
+                    });
+                } else {
+                    let (bdir, allowed) = cfg.baseline_for(rel);
+                    let idx = analysis.sites.len();
+                    analysis.sites.push(Site {
+                        rule: "panics",
+                        file: rel_str(rel),
+                        line: raw.line,
+                        msg: raw.msg,
+                        status: SiteStatus::Violation, // resolved below
+                    });
+                    let entry = groups.entry(bdir).or_insert((allowed, Vec::new()));
+                    entry.1.push(idx);
+                }
+            }
+        }
+        // Dirs with a manifest baseline but no sites still show up in
+        // the accounting, so headroom drift is visible.
+        for (bdir, allowed) in &cfg.panic_baselines {
+            groups.entry(bdir.clone()).or_insert((*allowed, Vec::new()));
+        }
+        for (bdir, (allowed, idxs)) in groups {
+            let found = idxs.len();
+            if found > allowed {
+                for i in idxs {
+                    analysis.sites[i].msg = format!(
+                        "{} — {}: {} found > {} allowed",
+                        analysis.sites[i].msg,
+                        rel_str(&bdir),
+                        found,
+                        allowed
+                    );
+                }
+            } else {
+                for i in idxs {
+                    analysis.sites[i].status = SiteStatus::Baselined;
+                }
+            }
+            analysis
+                .baseline_dirs
+                .push((rel_str(&bdir), found, allowed));
+        }
+    }
+
+    // --- determinism: manifest module set only ----------------------
+    if on("determinism") {
+        for ((rel, lx), dir) in files.iter().zip(&lexed).zip(&dirs) {
+            if !cfg.determinism_files.iter().any(|f| f == rel) {
+                continue;
+            }
+            for raw in rules::determinism(lx, dir) {
+                analysis.sites.push(Site {
+                    rule: "determinism",
+                    file: rel_str(rel),
+                    line: raw.line,
+                    msg: raw.msg,
+                    status: if raw.waived {
+                        SiteStatus::Waived
+                    } else {
+                        SiteStatus::Violation
+                    },
+                });
+            }
+        }
+    }
+
+    // --- hot-loop + unsafe: every scanned file ----------------------
+    if on("hot-loop") || on("unsafe") {
+        for ((rel, lx), dir) in files.iter().zip(&lexed).zip(&dirs) {
+            if on("hot-loop") {
+                for raw in rules::hot_loop(lx, dir) {
+                    analysis.sites.push(Site {
+                        rule: "hot-loop",
+                        file: rel_str(rel),
+                        line: raw.line,
+                        msg: raw.msg,
+                        status: if raw.waived {
+                            SiteStatus::Waived
+                        } else {
+                            SiteStatus::Violation
+                        },
+                    });
+                }
+            }
+            if on("unsafe") {
+                for raw in rules::unsafe_audit(lx, dir) {
+                    analysis.sites.push(Site {
+                        rule: "unsafe",
+                        file: rel_str(rel),
+                        line: raw.line,
+                        msg: raw.msg,
+                        status: if raw.waived {
+                            SiteStatus::Waived
+                        } else {
+                            SiteStatus::Violation
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    // --- deadlock: cross-file over the dataflow dirs ----------------
+    if on("deadlock") {
+        let mut dl_files: Vec<usize> = Vec::new();
+        for (i, rel) in files.iter().enumerate() {
+            if Config::under_any(rel, &cfg.deadlock_dirs) {
+                dl_files.push(i);
+            }
+        }
+        let pairs: Vec<(&lexer::Lexed<'_>, &rules::Directives)> =
+            dl_files.iter().map(|&i| (&lexed[i], &dirs[i])).collect();
+        let dl = deadlock::analyze(&pairs);
+        analysis.queues = dl.queues.len();
+        analysis.edges = dl.edges.len();
+        analysis.cycles = dl.cycles.len();
+        for (fi, raw) in dl.sites {
+            let rel = &files[dl_files[fi]];
+            analysis.sites.push(Site {
+                rule: "deadlock",
+                file: rel_str(rel),
+                line: raw.line,
+                msg: raw.msg,
+                status: if raw.waived {
+                    SiteStatus::Waived
+                } else {
+                    SiteStatus::Violation
+                },
+            });
+        }
+    }
+
+    analysis
+        .sites
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(analysis)
+}
+
+/// Thin wrapper so `sources.iter().map(...)` gets a fn pointer with
+/// the right lifetime relationship.
+fn lex_source(src: &str) -> lexer::Lexed<'_> {
+    lexer::lex(src)
+}

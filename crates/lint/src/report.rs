@@ -1,0 +1,166 @@
+//! Report rendering: a human summary for the terminal and the
+//! integer-only `lint_report.json` CI consumes (same idiom as the
+//! `BENCH_*.json` files — string names, integer counters, nothing
+//! floating).
+
+use crate::{Analysis, SiteStatus};
+
+/// Human-readable report. Violations are listed `file:line [rule]`,
+/// one per line, so terminals and editors can jump to them.
+pub fn human(a: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wga-lint: {} files scanned, rules: {}\n",
+        a.files_scanned,
+        a.enabled.join(", ")
+    ));
+    for rule in &a.enabled {
+        let s = a.stats(rule);
+        match *rule {
+            "panics" => {
+                out.push_str(&format!(
+                    "  panics      {} found, {} waived, {} baselined, {} violations\n",
+                    s.found, s.waived, s.baselined, s.violations
+                ));
+                for (dir, found, allowed) in &a.baseline_dirs {
+                    out.push_str(&format!(
+                        "              baseline {}: {} found / {} allowed\n",
+                        dir, found, allowed
+                    ));
+                }
+            }
+            "deadlock" => {
+                out.push_str(&format!(
+                    "  deadlock    {} queues, {} edges, {} cycles, {} found, {} waived, {} violations\n",
+                    a.queues, a.edges, a.cycles, s.found, s.waived, s.violations
+                ));
+            }
+            "hot-loop" => {
+                out.push_str(&format!(
+                    "  hot-loop    {} tagged files, {} found, {} waived, {} violations\n",
+                    a.hot_files, s.found, s.waived, s.violations
+                ));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "  {:<11} {} found, {} waived, {} violations\n",
+                    rule, s.found, s.waived, s.violations
+                ));
+            }
+        }
+    }
+    let violations: Vec<_> = a
+        .sites
+        .iter()
+        .filter(|s| s.status == SiteStatus::Violation)
+        .collect();
+    if violations.is_empty() {
+        out.push_str("OK: no non-waived violations\n");
+    } else {
+        out.push_str(&format!("VIOLATIONS ({}):\n", violations.len()));
+        for v in violations {
+            out.push_str(&format!("  {}:{} [{}] {}\n", v.file, v.line, v.rule, v.msg));
+        }
+    }
+    out
+}
+
+/// `lint_report.json` body: string names, integer counters only.
+pub fn json(a: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"wga-lint\",\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"files\": {},\n", a.files_scanned));
+    let mut total_waived = 0usize;
+    let mut total_baselined = 0usize;
+    for s in &a.sites {
+        match s.status {
+            SiteStatus::Waived => total_waived += 1,
+            SiteStatus::Baselined => total_baselined += 1,
+            SiteStatus::Violation => {}
+        }
+    }
+    out.push_str(&format!("  \"violations\": {},\n", a.total_violations()));
+    out.push_str(&format!("  \"waived\": {},\n", total_waived));
+    out.push_str(&format!("  \"baselined\": {},\n", total_baselined));
+    out.push_str("  \"rules\": {\n");
+    for (i, rule) in a.enabled.iter().enumerate() {
+        let s = a.stats(rule);
+        let comma = if i + 1 == a.enabled.len() { "" } else { "," };
+        match *rule {
+            "panics" => out.push_str(&format!(
+                "    \"panics\": {{\"found\": {}, \"waived\": {}, \"baselined\": {}, \"violations\": {}}}{}\n",
+                s.found, s.waived, s.baselined, s.violations, comma
+            )),
+            "deadlock" => out.push_str(&format!(
+                "    \"deadlock\": {{\"queues\": {}, \"edges\": {}, \"cycles\": {}, \"found\": {}, \"waived\": {}, \"violations\": {}}}{}\n",
+                a.queues, a.edges, a.cycles, s.found, s.waived, s.violations, comma
+            )),
+            "hot-loop" => out.push_str(&format!(
+                "    \"hot-loop\": {{\"files\": {}, \"found\": {}, \"waived\": {}, \"violations\": {}}}{}\n",
+                a.hot_files, s.found, s.waived, s.violations, comma
+            )),
+            other => out.push_str(&format!(
+                "    \"{}\": {{\"found\": {}, \"waived\": {}, \"violations\": {}}}{}\n",
+                other, s.found, s.waived, s.violations, comma
+            )),
+        }
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analysis, Site, SiteStatus};
+
+    fn sample() -> Analysis {
+        Analysis {
+            files_scanned: 2,
+            sites: vec![
+                Site {
+                    rule: "panics",
+                    file: "src/a.rs".into(),
+                    line: 3,
+                    msg: ".unwrap()".into(),
+                    status: SiteStatus::Baselined,
+                },
+                Site {
+                    rule: "unsafe",
+                    file: "src/b.rs".into(),
+                    line: 9,
+                    msg: "unsafe without a // SAFETY: comment".into(),
+                    status: SiteStatus::Violation,
+                },
+            ],
+            baseline_dirs: vec![("src".into(), 1, 1)],
+            queues: 3,
+            edges: 2,
+            cycles: 0,
+            hot_files: 1,
+            enabled: vec!["panics", "determinism", "deadlock", "hot-loop", "unsafe"],
+        }
+    }
+
+    #[test]
+    fn json_is_integer_only() {
+        let j = json(&sample());
+        assert!(j.contains("\"tool\": \"wga-lint\""));
+        assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("\"queues\": 3"));
+        // No float ever sneaks into the report (its own determinism
+        // rule would be ashamed).
+        assert!(!j.contains('.'), "{}", j.replace("wga-lint", ""));
+    }
+
+    #[test]
+    fn human_lists_violation_with_location() {
+        let h = human(&sample());
+        assert!(h.contains("src/b.rs:9 [unsafe]"));
+        assert!(h.contains("baseline src: 1 found / 1 allowed"));
+        assert!(h.contains("VIOLATIONS (1):"));
+    }
+}

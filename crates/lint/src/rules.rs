@@ -1,0 +1,590 @@
+//! Per-file rules: panics, determinism, hot-loop hygiene, unsafe
+//! audit — plus the comment-directive layer (waivers and file tags)
+//! they all consult.
+//!
+//! Each rule walks the token stream from [`crate::lexer`], skipping
+//! test-masked tokens, and returns raw sites. Aggregation policy
+//! (panic baselines, forbidden directories) lives in `lib.rs`; this
+//! module only answers "where does the pattern occur, and is that
+//! line waived".
+
+use crate::lexer::{Lexed, TokKind, item_end};
+
+/// One waiver: `// lint: allow(<rule>): <why>` covering a line range.
+///
+/// A trailing waiver covers only its own line. An own-line waiver
+/// covers the next code line — or the whole following item (fn,
+/// impl, const, …) when the next token starts one, so a single
+/// waiver above a function covers every site inside it.
+#[derive(Debug)]
+pub struct Waiver {
+    pub rule: String,
+    pub start: u32,
+    pub end: u32,
+}
+
+/// Comment directives extracted from one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// File carries `// lint: hot` — hot-loop rule applies.
+    pub hot: bool,
+    pub waivers: Vec<Waiver>,
+}
+
+impl Directives {
+    /// Whether `line` is waived for `rule`.
+    pub fn waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.rule == rule && w.start <= line && line <= w.end)
+    }
+}
+
+/// A rule hit before aggregation: line, message, waiver status.
+#[derive(Debug)]
+pub struct RawSite {
+    pub line: u32,
+    pub msg: String,
+    pub waived: bool,
+}
+
+/// Tokens that begin an item or statement — an own-line waiver above
+/// one of these covers the whole brace/semicolon extent.
+const ITEM_STARTERS: &[&str] = &[
+    "#", "pub", "fn", "const", "static", "struct", "enum", "impl", "trait", "mod", "unsafe",
+    "type", "let", "for", "while", "loop", "match", "if",
+];
+
+/// Extracts `lint:` directives from a file's comments.
+pub fn scan_directives(lexed: &Lexed<'_>) -> Directives {
+    let mut out = Directives::default();
+    for c in &lexed.comments {
+        // Directives must START the comment (`// lint: …`); prose that
+        // merely mentions the syntax — like this sentence — is inert.
+        let Some(rest) = c.text.trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        let body = rest.trim();
+        if let Some(rest) = body.strip_prefix("hot") {
+            // `// lint: hot` possibly followed by prose, but not e.g.
+            // a hypothetical `lint: hotfix` directive.
+            if rest.is_empty() || !rest.starts_with(|ch: char| ch.is_ascii_alphanumeric()) {
+                out.hot = true;
+                continue;
+            }
+        }
+        let Some(rest) = body.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim();
+        // A waiver must say why; `allow(rule)` with no rationale is
+        // ignored, so the underlying site stays a violation.
+        let why = rest[close + 1..]
+            .trim_start_matches(':')
+            .trim();
+        if rule.is_empty() || why.is_empty() {
+            continue;
+        }
+        let (start, end) = if c.trailing {
+            (c.line, c.line)
+        } else {
+            match lexed.toks.iter().position(|t| t.line > c.line) {
+                Some(idx) => {
+                    let start = lexed.toks[idx].line;
+                    let end = if ITEM_STARTERS.contains(&lexed.toks[idx].text) {
+                        lexed.toks[item_end(&lexed.toks, idx)].line
+                    } else {
+                        start
+                    };
+                    (start, end)
+                }
+                None => continue, // waiver at EOF covers nothing
+            }
+        };
+        out.waivers.push(Waiver {
+            rule: rule.to_string(),
+            start,
+            end,
+        });
+    }
+    out
+}
+
+/// Panic-prone call sites in non-test code: `.unwrap()`, `.expect(`,
+/// and the `panic!`/`unreachable!`/`todo!`/`unimplemented!` macros.
+pub fn panics(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
+    const METHODS: &[&str] = &["unwrap", "expect"];
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if lexed.test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.text == "."
+            && matches!(toks.get(i + 1), Some(m) if m.kind == TokKind::Ident && METHODS.contains(&m.text))
+            && matches!(toks.get(i + 2), Some(p) if p.text == "(")
+        {
+            let line = toks[i + 1].line;
+            out.push(RawSite {
+                line,
+                msg: format!(".{}()", toks[i + 1].text),
+                waived: dir.waived("panics", line),
+            });
+        }
+        if t.kind == TokKind::Ident
+            && MACROS.contains(&t.text)
+            && matches!(toks.get(i + 1), Some(p) if p.text == "!")
+        {
+            out.push(RawSite {
+                line: t.line,
+                msg: format!("{}!", t.text),
+                waived: dir.waived("panics", t.line),
+            });
+        }
+    }
+    out
+}
+
+/// Methods whose call on a hash container observes its nondeterministic
+/// iteration order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Determinism violations in a canonical-output module: hash-map/set
+/// iteration, wall-clock reads, and float literals/types.
+pub fn determinism(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+
+    // Pass 1: names bound to HashMap/HashSet, via a type ascription
+    // (`name: [path::]HashMap<…>`, possibly behind `&`/`mut`) or a
+    // constructor assignment (`name = HashMap::new()`).
+    let mut hash_names: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if lexed.test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over a path (`std ::`, `collections ::` — the
+        // lexer splits `::` into two `:` puncts) and any `&` / `mut`
+        // to the `:` or `=` that binds a name.
+        let mut k = i;
+        while k >= 3
+            && toks[k - 1].text == ":"
+            && toks[k - 2].text == ":"
+            && toks[k - 3].kind == TokKind::Ident
+        {
+            k -= 3;
+        }
+        while k >= 1 && (toks[k - 1].text == "&" || toks[k - 1].text == "mut") {
+            k -= 1;
+        }
+        let ascription = k >= 2
+            && toks[k - 1].text == ":"
+            && toks[k - 2].kind == TokKind::Ident;
+        let assignment = k >= 2
+            && toks[k - 1].text == "="
+            && toks[k - 2].kind == TokKind::Ident
+            && matches!(toks.get(i + 1), Some(c) if c.text == ":");
+        if ascription || assignment {
+            let name = toks[k - 2].text;
+            if !hash_names.contains(&name) {
+                hash_names.push(name);
+            }
+        }
+    }
+
+    // Pass 2: flag order-observing uses.
+    for i in 0..toks.len() {
+        if lexed.test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => {
+                // name . iter ( …   where name is hash-bound
+                if hash_names.contains(&t.text)
+                    && matches!(toks.get(i + 1), Some(d) if d.text == ".")
+                    && matches!(toks.get(i + 2), Some(m) if m.kind == TokKind::Ident && HASH_ITER_METHODS.contains(&m.text))
+                    && matches!(toks.get(i + 3), Some(p) if p.text == "(")
+                {
+                    out.push(RawSite {
+                        line: t.line,
+                        msg: format!("hash iteration: {}.{}()", t.text, toks[i + 2].text),
+                        waived: dir.waived("determinism", t.line),
+                    });
+                }
+                // for … in [&][mut] name {
+                if t.text == "in" {
+                    let mut j = i + 1;
+                    while matches!(toks.get(j), Some(x) if x.text == "&" || x.text == "mut") {
+                        j += 1;
+                    }
+                    if matches!(toks.get(j), Some(x) if x.kind == TokKind::Ident && hash_names.contains(&x.text))
+                        && matches!(toks.get(j + 1), Some(b) if b.text == "{")
+                    {
+                        out.push(RawSite {
+                            line: toks[j].line,
+                            msg: format!("hash iteration: for … in {}", toks[j].text),
+                            waived: dir.waived("determinism", toks[j].line),
+                        });
+                    }
+                }
+                if t.text == "Instant"
+                    && matches!(toks.get(i + 1), Some(c) if c.text == ":")
+                {
+                    out.push(RawSite {
+                        line: t.line,
+                        msg: "wall clock: Instant::now".to_string(),
+                        waived: dir.waived("determinism", t.line),
+                    });
+                }
+                if t.text == "SystemTime" {
+                    out.push(RawSite {
+                        line: t.line,
+                        msg: "wall clock: SystemTime".to_string(),
+                        waived: dir.waived("determinism", t.line),
+                    });
+                }
+                if t.text == "f32" || t.text == "f64" {
+                    out.push(RawSite {
+                        line: t.line,
+                        msg: format!("float type: {}", t.text),
+                        waived: dir.waived("determinism", t.line),
+                    });
+                }
+            }
+            TokKind::Float => {
+                out.push(RawSite {
+                    line: t.line,
+                    msg: format!("float literal: {}", t.text),
+                    waived: dir.waived("determinism", t.line),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Allocation and formatting calls inside loop bodies of a file tagged
+/// `// lint: hot`. Returns empty for untagged files.
+pub fn hot_loop(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
+    if !dir.hot {
+        return Vec::new();
+    }
+    let toks = &lexed.toks;
+    let mut in_loop = vec![false; toks.len()];
+
+    for i in 0..toks.len() {
+        if lexed.test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let kw = toks[i].text;
+        if kw != "for" && kw != "while" && kw != "loop" {
+            continue;
+        }
+        // `impl Trait for Type` and `for<'a>` bounds are not loops: a
+        // loop `for` never follows an identifier or `>`, and never
+        // precedes `<`.
+        if kw == "for" {
+            if i > 0 && (toks[i - 1].kind == TokKind::Ident || toks[i - 1].text == ">") {
+                continue;
+            }
+            if matches!(toks.get(i + 1), Some(t) if t.text == "<") {
+                continue;
+            }
+        }
+        // Body = first `{` outside parens/brackets after the keyword.
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut j = i + 1;
+        let open = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) => match t.text {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" if paren == 0 && bracket == 0 => break Some(j),
+                    ";" if paren == 0 && bracket == 0 => break None,
+                    _ => {}
+                },
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        let close = crate::lexer::item_end(toks, open);
+        for flag in in_loop.iter_mut().take(close + 1).skip(open) {
+            *flag = true;
+        }
+    }
+
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if lexed.test[i] || !in_loop[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.text == "Vec"
+            && matches!(toks.get(i + 1), Some(c) if c.text == ":")
+            && matches!(toks.get(i + 2), Some(c) if c.text == ":")
+            && matches!(toks.get(i + 3), Some(m) if m.text == "new")
+        {
+            out.push(RawSite {
+                line: t.line,
+                msg: "Vec::new in hot loop".to_string(),
+                waived: dir.waived("hot-loop", t.line),
+            });
+        }
+        if t.text == "."
+            && matches!(toks.get(i + 1), Some(m) if m.text == "to_vec")
+            && matches!(toks.get(i + 2), Some(p) if p.text == "(")
+        {
+            let line = toks[i + 1].line;
+            out.push(RawSite {
+                line,
+                msg: ".to_vec() in hot loop".to_string(),
+                waived: dir.waived("hot-loop", line),
+            });
+        }
+        if t.text == "."
+            && matches!(toks.get(i + 1), Some(m) if m.text == "clone")
+            && matches!(toks.get(i + 2), Some(p) if p.text == "(")
+            && matches!(toks.get(i + 3), Some(p) if p.text == ")")
+        {
+            let line = toks[i + 1].line;
+            out.push(RawSite {
+                line,
+                msg: ".clone() in hot loop".to_string(),
+                waived: dir.waived("hot-loop", line),
+            });
+        }
+        if t.text == "format"
+            && matches!(toks.get(i + 1), Some(p) if p.text == "!")
+        {
+            out.push(RawSite {
+                line: t.line,
+                msg: "format! in hot loop".to_string(),
+                waived: dir.waived("hot-loop", t.line),
+            });
+        }
+    }
+    out
+}
+
+/// `unsafe` tokens in non-test code with no `// SAFETY:` comment on
+/// the same line or within the three lines above. Each SAFETY comment
+/// annotates at most one `unsafe` (the first one after it), so two
+/// stacked blocks need two comments.
+pub fn unsafe_audit(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
+    let mut safety: Vec<(u32, bool)> = lexed
+        .comments
+        .iter()
+        .filter(|c| c.text.trim_start().starts_with("SAFETY:"))
+        .map(|c| (c.line, false))
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..lexed.toks.len() {
+        if lexed.test[i] {
+            continue;
+        }
+        let t = &lexed.toks[i];
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let lo = t.line.saturating_sub(3);
+        let annotated = safety
+            .iter_mut()
+            .find(|(line, used)| !used && *line >= lo && *line <= t.line)
+            .map(|slot| {
+                slot.1 = true;
+            })
+            .is_some();
+        if !annotated {
+            out.push(RawSite {
+                line: t.line,
+                msg: "unsafe without a // SAFETY: comment".to_string(),
+                waived: dir.waived("unsafe", t.line),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn raw(src: &str, f: fn(&Lexed<'_>, &Directives) -> Vec<RawSite>) -> Vec<RawSite> {
+        let lexed = lex(src);
+        let dir = scan_directives(&lexed);
+        f(&lexed, &dir)
+    }
+
+    #[test]
+    fn panics_finds_methods_and_macros() {
+        let src = "
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    if a == 0 { panic!(\"zero\") }
+    match b { 0 => unreachable!(), _ => todo!() }
+}
+";
+        let sites = raw(src, panics);
+        assert_eq!(sites.len(), 5);
+        assert!(sites.iter().all(|s| !s.waived));
+    }
+
+    #[test]
+    fn panics_skips_tests_strings_comments_and_unwrap_or() {
+        let src = "
+// .unwrap() in a comment
+fn f() { let s = \"panic!\"; let v = o.unwrap_or(0); }
+#[cfg(test)]
+mod tests { fn t() { x.unwrap(); panic!(); } }
+";
+        assert!(raw(src, panics).is_empty());
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_line_only() {
+        let src = "
+fn f() {
+    a.unwrap(); // lint: allow(panics): poisoned mutex is fatal here
+    b.unwrap();
+}
+";
+        let sites = raw(src, panics);
+        assert_eq!(sites.len(), 2);
+        assert!(sites[0].waived);
+        assert!(!sites[1].waived);
+    }
+
+    #[test]
+    fn item_waiver_covers_whole_fn() {
+        let src = "
+// lint: allow(panics): this constructor is infallible by invariant
+fn f() {
+    a.unwrap();
+    b.unwrap();
+}
+fn g() { c.unwrap(); }
+";
+        let sites = raw(src, panics);
+        assert_eq!(sites.len(), 3);
+        assert!(sites[0].waived && sites[1].waived);
+        assert!(!sites[2].waived);
+    }
+
+    #[test]
+    fn waiver_without_why_is_ignored() {
+        let src = "fn f() { a.unwrap(); } // lint: allow(panics):\n";
+        let sites = raw(src, panics);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].waived);
+    }
+
+    #[test]
+    fn determinism_flags_hash_iteration_only() {
+        let src = "
+fn f() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);                 // writes are fine
+    let hit = m.contains_key(&1);   // point reads are fine
+    for (k, v) in &m { use_it(k, v); }
+    let vals: Vec<u32> = m.into_values().collect();
+}
+";
+        let sites = raw(src, determinism);
+        assert_eq!(sites.len(), 2, "{:?}", sites);
+        assert!(sites.iter().all(|s| s.msg.starts_with("hash iteration")));
+    }
+
+    #[test]
+    fn determinism_flags_clocks_and_floats() {
+        let src = "
+fn f() -> f64 {
+    let t = Instant::now();
+    let frac = 0.5;
+    frac
+}
+";
+        let sites = raw(src, determinism);
+        // f64 type, Instant::now, 0.5 literal
+        assert_eq!(sites.len(), 3, "{:?}", sites);
+    }
+
+    #[test]
+    fn determinism_waiver_on_item() {
+        let src = "
+// lint: allow(determinism): display-only fraction, never in canonical_text
+fn gc_fraction(gc: usize, n: usize) -> f64 {
+    gc as f64 / n as f64
+}
+";
+        let sites = raw(src, determinism);
+        assert!(!sites.is_empty());
+        assert!(sites.iter().all(|s| s.waived));
+    }
+
+    #[test]
+    fn hot_loop_needs_tag_and_loop_body() {
+        let untagged = "fn f() { for i in 0..3 { let v = Vec::new(); } }";
+        assert!(raw(untagged, hot_loop).is_empty());
+
+        let tagged = "
+// lint: hot
+fn f() {
+    let outside = Vec::new();
+    for i in 0..3 {
+        let v: Vec<u8> = Vec::new();
+        let s = format!(\"{}\", i);
+        let c = x.clone();
+        let d = x.clone_from_slice(y);
+        let t = y.to_vec();
+    }
+}
+impl Display for Foo { fn fmt(&self) { let v = Vec::new(); } }
+";
+        let sites = raw(tagged, hot_loop);
+        // Vec::new, format!, .clone(), .to_vec() — not the impl body,
+        // not the pre-loop Vec::new, not clone_from_slice.
+        assert_eq!(sites.len(), 4, "{:?}", sites);
+    }
+
+    #[test]
+    fn unsafe_audit_wants_safety_comment() {
+        let src = "
+fn f() {
+    // SAFETY: index is bounds-checked above
+    let a = unsafe { *p.add(i) };
+    let b = unsafe { *p.add(j) };
+}
+";
+        let sites = raw(src, unsafe_audit);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].line, 5);
+    }
+}

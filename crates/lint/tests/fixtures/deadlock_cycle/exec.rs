@@ -1,0 +1,28 @@
+//! Deadlock fixture (cyclic): a retry stage feeds failures back into
+//! the input queue — through a helper call, so the edge only appears
+//! with call-summary propagation. Expected: 1 cycle.
+
+pub fn execute() {
+    let work_q: BoundedQueue<u32> = BoundedQueue::new(4);
+    let done_q: BoundedQueue<u32> = BoundedQueue::new(4);
+    scope(|s| {
+        s.spawn(move || worker(&work_q, &done_q));
+        s.spawn(move || reaper(&work_q, &done_q));
+    });
+}
+
+fn worker(work_q: &BoundedQueue<u32>, done_q: &BoundedQueue<u32>) {
+    while let Some(x) = work_q.pop() {
+        let _ = done_q.push(x);
+    }
+}
+
+fn reaper(work_q: &BoundedQueue<u32>, done_q: &BoundedQueue<u32>) {
+    while let Some(x) = done_q.pop() {
+        retry(work_q, x);
+    }
+}
+
+fn retry(work_q: &BoundedQueue<u32>, x: u32) {
+    let _ = work_q.push(x); // closes the loop: done_q -> work_q -> done_q
+}

@@ -1,0 +1,15 @@
+//! Deadlock fixture (held lock): one push under a live guard, one
+//! correctly dropped first. Expected: 1 held-lock site, 0 cycles.
+
+pub fn bad_deposit(cells: &Cells, out_q: &BoundedQueue<u32>) {
+    let mut slot = cells.lock();
+    *slot = 1;
+    let _ = out_q.push(1); // guard `slot` still live: site
+}
+
+pub fn good_deposit(cells: &Cells, out_q: &BoundedQueue<u32>) {
+    let mut slot = cells.lock();
+    *slot = 1;
+    drop(slot);
+    let _ = out_q.push(1);
+}

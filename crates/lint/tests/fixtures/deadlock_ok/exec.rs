@@ -1,0 +1,43 @@
+//! Deadlock fixture (clean): a linear producer → worker → collector
+//! chain. Expected: 3 queues, 2 edges, 0 cycles, 0 sites.
+
+pub fn execute() {
+    let in_q: BoundedQueue<u32> = BoundedQueue::new(4);
+    let mid_q: BoundedQueue<u32> = BoundedQueue::new(4);
+    let out_q: BoundedQueue<u32> = BoundedQueue::new(4);
+    scope(|s| {
+        s.spawn(move || produce(&in_q));
+        s.spawn(move || stage(&in_q, &mid_q));
+        s.spawn(move || finish(&mid_q, &out_q));
+        s.spawn(move || collect(&out_q));
+    });
+}
+
+fn produce(in_q: &BoundedQueue<u32>) {
+    for i in 0..8 {
+        let _ = in_q.push(i);
+    }
+}
+
+fn stage(in_q: &BoundedQueue<u32>, mid_q: &BoundedQueue<u32>) {
+    while let Some(x) = in_q.pop() {
+        deposit(mid_q, x);
+    }
+}
+
+fn deposit(mid_q: &BoundedQueue<u32>, x: u32) {
+    let mut slot = cells(x).lock();
+    *slot += 1;
+    drop(slot);
+    let _ = mid_q.push(x); // fine: the guard is dropped first
+}
+
+fn finish(mid_q: &BoundedQueue<u32>, out_q: &BoundedQueue<u32>) {
+    while let Some(x) = mid_q.pop() {
+        let _ = out_q.push(x);
+    }
+}
+
+fn collect(out_q: &BoundedQueue<u32>) {
+    while out_q.pop().is_some() {}
+}

@@ -1,0 +1,44 @@
+//! Determinism fixture: exactly FIVE non-waived violations — two hash
+//! iterations, one wall-clock read, one float literal, one float type
+//! — plus two waived float sites and order-safe decoys that must not
+//! count.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+pub fn hash_iteration(scores: HashMap<String, i64>) -> Vec<i64> {
+    let mut out = Vec::new();
+    for (_k, v) in &scores {
+        // violation 1: for-loop over a HashMap
+        out.push(*v);
+    }
+    let more: Vec<i64> = scores.into_values().collect(); // violation 2
+    let _ = more;
+    out
+}
+
+pub fn point_reads_are_fine(scores: &HashMap<String, i64>) -> i64 {
+    // contains_key/get/insert never observe iteration order: no sites.
+    *scores.get("chr1").unwrap_or(&0)
+}
+
+pub fn ordered_iteration_is_fine(ordered: BTreeMap<String, i64>) -> Vec<i64> {
+    // Distinct name on purpose: queue/hash identity is lexical (by
+    // name), so reusing a hash-bound name for a BTreeMap would flag.
+    ordered.into_values().collect()
+}
+
+pub fn wall_clock() -> u64 {
+    let t = Instant::now(); // violation 3
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn float_leak(n: u64) -> u64 {
+    let x = 0.5; // violation 4 (float literal)
+    (n as f64 * x) as u64 // violation 5 (f64 type)
+}
+
+// lint: allow(determinism): fixture waiver — display-only value
+pub fn waived_float(n: u64) -> f64 {
+    n as f64
+}

@@ -1,0 +1,40 @@
+//! Hot-loop fixture: tagged file with exactly FOUR in-loop sites.
+//! Allocations before the loop, in test code, and non-matching calls
+//! (`clone_from_slice`, `resize`) must not count.
+
+// lint: hot
+
+pub fn kernel(rows: usize, scratch: &mut Vec<i32>) -> String {
+    let mut reuse: Vec<i32> = Vec::new(); // fine: outside any loop
+    let mut label = String::new();
+    for r in 0..rows {
+        let fresh: Vec<i32> = Vec::new(); // site 1
+        let copy = scratch.to_vec(); // site 2
+        let dup = copy.clone(); // site 3
+        label = format!("row {}", r); // site 4
+        scratch.resize(r, 0); // fine: reuse, not allocation
+        reuse.clone_from_slice(&dup); // fine: not `.clone()`
+        let _ = fresh;
+    }
+    while reuse.len() > rows {
+        reuse.pop(); // fine: no allocation
+    }
+    label
+}
+
+impl Renderer for Kernel {
+    // `for` in `impl … for …` is not a loop: this body is clean.
+    fn render(&self) -> Vec<u8> {
+        let buffer = Vec::new();
+        buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        for _ in 0..3 {
+            let _ = format!("test code is exempt");
+        }
+    }
+}

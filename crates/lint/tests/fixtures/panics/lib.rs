@@ -1,0 +1,53 @@
+//! Panics fixture: exactly FIVE non-waived panic sites in live code.
+//!
+//! Decoys that must NOT count: doc examples, strings, comments, raw
+//! strings, char literals, `#[cfg(test)]` code (including a mid-file
+//! test module), `unwrap_or`, and one waived site.
+
+/// Doc example decoy:
+///
+/// ```
+/// let x = Some(1).unwrap(); // not code, panic! here is prose
+/// ```
+pub fn live_one(x: Option<u32>) -> u32 {
+    x.unwrap() // site 1
+}
+
+pub fn live_two(x: Option<u32>) -> u32 {
+    let s = "a string .unwrap() panic! decoy";
+    let r = r#"raw string with "quotes" and .expect( decoy"#;
+    let c = '"'; // char decoy; the next slash pair is data: '/'
+    /* block comment decoy: .unwrap()
+       /* nested: panic!("still a comment") */
+    */
+    let _ = (s, r, c);
+    x.expect("fixture") // site 2
+}
+
+#[cfg(test)]
+mod mid_file_tests {
+    // Everything here is test code: none of these count.
+    fn t() {
+        let v: Option<u32> = None;
+        v.unwrap();
+        v.expect("boom");
+        panic!("test only");
+    }
+}
+
+pub fn live_three(mode: u8) -> u8 {
+    match mode {
+        0 => panic!("fixture"),   // site 3
+        1 => unreachable!(),      // site 4
+        2 => todo!(),             // site 5
+        _ => mode,
+    }
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(panics): fixture waiver — counted as waived, not violating
+}
+
+pub fn not_a_panic(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

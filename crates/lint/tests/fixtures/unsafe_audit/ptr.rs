@@ -1,0 +1,19 @@
+//! Unsafe fixture: one annotated block (clean), one bare (site), one
+//! waived. A doc comment merely *mentioning* SAFETY: must not count
+//! as an annotation.
+
+/// Reads out of a raw buffer. Callers uphold SAFETY: by construction.
+pub fn annotated(p: *const u8, i: usize, len: usize) -> u8 {
+    assert!(i < len);
+    // SAFETY: i is bounds-checked against len on the line above.
+    unsafe { *p.add(i) }
+}
+
+pub fn bare(p: *const u8) -> u8 {
+    unsafe { *p } // site: no SAFETY comment in reach
+}
+
+// lint: allow(unsafe): fixture waiver — annotated elsewhere
+pub fn waived(p: *const u8) -> u8 {
+    unsafe { *p }
+}

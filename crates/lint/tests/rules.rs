@@ -1,0 +1,238 @@
+//! End-to-end rule tests over the fixture crates in
+//! `tests/fixtures/`, plus the self-test that the real workspace is
+//! clean under the checked-in manifest.
+//!
+//! Every fixture seeds a known number of violations; each must be
+//! detected by exactly its intended rule (ISSUE 5 acceptance).
+
+use std::path::PathBuf;
+
+use wga_lint::{run, Analysis, Config, SiteStatus, RULES};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn analyze(manifest: &str, rules: &[&'static str]) -> Analysis {
+    let cfg = Config::parse(fixture_root(), manifest).expect("fixture manifest parses");
+    run(&cfg, rules).expect("fixture run succeeds")
+}
+
+fn violations(a: &Analysis) -> Vec<&wga_lint::Site> {
+    a.sites
+        .iter()
+        .filter(|s| s.status == SiteStatus::Violation)
+        .collect()
+}
+
+#[test]
+fn panics_fixture_exact_counts() {
+    let a = analyze("[scan]\npanics\n", &["panics"]);
+    let s = a.stats("panics");
+    assert_eq!(s.found, 6, "5 live + 1 waived: {:#?}", a.sites);
+    assert_eq!(s.waived, 1);
+    assert_eq!(s.baselined, 0);
+    assert_eq!(s.violations, 5);
+    assert!(a.sites.iter().all(|s| s.rule == "panics"));
+    // The five seeded kinds are each present.
+    let msgs: Vec<&str> = violations(&a).iter().map(|s| s.msg.as_str()).collect();
+    for kind in [".unwrap()", ".expect()", "panic!", "unreachable!", "todo!"] {
+        assert!(
+            msgs.iter().any(|m| m.starts_with(kind)),
+            "missing {kind} in {msgs:?}"
+        );
+    }
+}
+
+#[test]
+fn panics_baseline_absorbs_known_sites() {
+    let a = analyze(
+        "[scan]\npanics\n[baseline panics]\npanics 5\n",
+        &["panics"],
+    );
+    let s = a.stats("panics");
+    assert_eq!(s.violations, 0);
+    assert_eq!(s.baselined, 5);
+    assert_eq!(s.waived, 1);
+    assert_eq!(a.baseline_dirs, vec![("panics".to_string(), 5, 5)]);
+}
+
+#[test]
+fn panics_over_baseline_reports_every_site() {
+    let a = analyze(
+        "[scan]\npanics\n[baseline panics]\npanics 4\n",
+        &["panics"],
+    );
+    let s = a.stats("panics");
+    assert_eq!(s.violations, 5, "over baseline, every site is reported");
+    assert!(violations(&a)
+        .iter()
+        .all(|v| v.msg.contains("5 found > 4 allowed")));
+}
+
+#[test]
+fn panics_forbidden_ignores_baseline() {
+    let a = analyze(
+        "[scan]\npanics\n[panics-forbidden]\npanics\n[baseline panics]\npanics 99\n",
+        &["panics"],
+    );
+    let s = a.stats("panics");
+    assert_eq!(s.violations, 5);
+    assert!(violations(&a)
+        .iter()
+        .all(|v| v.msg.contains("panic-forbidden")));
+}
+
+#[test]
+fn determinism_fixture_exact_counts() {
+    let a = analyze(
+        "[scan]\ndeterminism\n[determinism]\ndeterminism/canonical.rs\n",
+        &["determinism"],
+    );
+    let s = a.stats("determinism");
+    assert_eq!(s.found, 7, "{:#?}", a.sites);
+    assert_eq!(s.waived, 2);
+    assert_eq!(s.violations, 5);
+    let msgs: Vec<&str> = violations(&a).iter().map(|s| s.msg.as_str()).collect();
+    assert_eq!(
+        msgs.iter().filter(|m| m.starts_with("hash iteration")).count(),
+        2,
+        "{msgs:?}"
+    );
+    assert_eq!(msgs.iter().filter(|m| m.starts_with("wall clock")).count(), 1);
+    assert_eq!(msgs.iter().filter(|m| m.starts_with("float literal")).count(), 1);
+    assert_eq!(msgs.iter().filter(|m| m.starts_with("float type")).count(), 1);
+}
+
+#[test]
+fn determinism_only_runs_on_manifest_modules() {
+    // Same scan dir, but the module is not in [determinism]: no sites.
+    let a = analyze("[scan]\ndeterminism\n", &["determinism"]);
+    assert_eq!(a.stats("determinism").found, 0);
+}
+
+#[test]
+fn deadlock_clean_chain_is_acyclic() {
+    let a = analyze("[scan]\ndeadlock_ok\n[deadlock]\ndeadlock_ok\n", &["deadlock"]);
+    assert_eq!(a.queues, 3);
+    assert_eq!(a.edges, 2);
+    assert_eq!(a.cycles, 0);
+    assert_eq!(a.total_violations(), 0, "{:#?}", a.sites);
+}
+
+#[test]
+fn deadlock_cycle_through_helper_call_detected() {
+    let a = analyze(
+        "[scan]\ndeadlock_cycle\n[deadlock]\ndeadlock_cycle\n",
+        &["deadlock"],
+    );
+    assert_eq!(a.cycles, 1, "{:#?}", a.sites);
+    let v = violations(&a);
+    assert_eq!(v.len(), 1);
+    assert!(v[0].msg.contains("cycle"));
+    assert!(v[0].msg.contains("work_q") && v[0].msg.contains("done_q"));
+}
+
+#[test]
+fn deadlock_push_under_held_lock_detected() {
+    let a = analyze(
+        "[scan]\ndeadlock_lock\n[deadlock]\ndeadlock_lock\n",
+        &["deadlock"],
+    );
+    assert_eq!(a.cycles, 0);
+    let v = violations(&a);
+    assert_eq!(v.len(), 1, "{:#?}", a.sites);
+    assert!(v[0].msg.contains("lock guard `slot`"));
+    assert_eq!(v[0].file, "deadlock_lock/exec.rs");
+}
+
+#[test]
+fn hot_loop_fixture_exact_counts() {
+    let a = analyze("[scan]\nhot\n", &["hot-loop"]);
+    assert_eq!(a.hot_files, 1);
+    let s = a.stats("hot-loop");
+    assert_eq!(s.found, 4, "{:#?}", a.sites);
+    assert_eq!(s.violations, 4);
+    let msgs: Vec<&str> = violations(&a).iter().map(|s| s.msg.as_str()).collect();
+    for kind in ["Vec::new", ".to_vec()", ".clone()", "format!"] {
+        assert!(msgs.iter().any(|m| m.contains(kind)), "missing {kind}");
+    }
+}
+
+#[test]
+fn unsafe_fixture_exact_counts() {
+    let a = analyze("[scan]\nunsafe_audit\n", &["unsafe"]);
+    let s = a.stats("unsafe");
+    assert_eq!(s.found, 2, "annotated block is clean: {:#?}", a.sites);
+    assert_eq!(s.waived, 1);
+    assert_eq!(s.violations, 1);
+}
+
+#[test]
+fn each_seeded_violation_hits_exactly_its_intended_rule() {
+    let manifest = "
+[scan]
+panics
+determinism
+deadlock_ok
+deadlock_cycle
+deadlock_lock
+hot
+unsafe_audit
+[determinism]
+determinism/canonical.rs
+[deadlock]
+deadlock_cycle
+deadlock_lock
+";
+    let a = analyze(manifest, RULES);
+    assert!(a.total_violations() > 0);
+    for v in violations(&a) {
+        let expected = match v.file.split('/').next().unwrap_or("") {
+            "panics" => "panics",
+            "determinism" => "determinism",
+            "deadlock_cycle" | "deadlock_lock" => "deadlock",
+            "hot" => "hot-loop",
+            "unsafe_audit" => "unsafe",
+            other => panic!("violation in unexpected fixture dir {other}: {v:?}"),
+        };
+        assert_eq!(
+            v.rule, expected,
+            "cross-rule contamination at {}:{} — {}",
+            v.file, v.line, v.msg
+        );
+    }
+    // And the clean fixture stays clean even in the combined run.
+    assert!(violations(&a).iter().all(|v| !v.file.starts_with("deadlock_ok/")));
+}
+
+/// The real workspace must be green under the checked-in manifest —
+/// the same invariant CI enforces, pinned as a test so `cargo test`
+/// alone catches a regression.
+#[test]
+fn workspace_is_clean_under_checked_in_manifest() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let manifest_path = root.join("scripts/wga-lint.manifest");
+    let text = std::fs::read_to_string(&manifest_path).expect("manifest readable");
+    let cfg = Config::parse(root, &text).expect("manifest parses");
+    let a = run(&cfg, RULES).expect("workspace lint runs");
+    let v = violations(&a);
+    assert!(
+        v.is_empty(),
+        "workspace has non-waived lint violations:\n{}",
+        v.iter()
+            .map(|s| format!("  {}:{} [{}] {}", s.file, s.line, s.rule, s.msg))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The deadlock rule really parsed the dataflow: the three-queue
+    // chain must be present and acyclic.
+    assert_eq!(a.queues, 3);
+    assert_eq!(a.edges, 2);
+    assert_eq!(a.cycles, 0);
+    // The two wavefront kernels carry their hot tags.
+    assert_eq!(a.hot_files, 2);
+}

@@ -279,8 +279,8 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), 64);
         assert_eq!(counts[AminoAcid::Stop.index()], 3);
         assert_eq!(counts[AminoAcid::X.index()], 0);
-        for aa in 0..20 {
-            assert!(counts[aa] > 0, "amino {aa} missing");
+        for (aa, &n) in counts.iter().enumerate().take(20) {
+            assert!(n > 0, "amino {aa} missing");
         }
         // Degeneracy sanity: Leucine and Arginine have six codons each.
         assert_eq!(counts[AminoAcid::L.index()], 6);

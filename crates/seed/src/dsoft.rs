@@ -12,7 +12,7 @@ use crate::pattern::SeedPattern;
 use crate::table::SeedTable;
 use genome::Sequence;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// D-SOFT parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,7 +94,10 @@ pub fn dsoft_seeds(table: &SeedTable, query: &Sequence, params: &DsoftParams) ->
     let qslice = query.as_slice();
     let mut result = DsoftResult::default();
     // band key: (chunk index, target bin) → count and first hit.
-    let mut bands: HashMap<(u32, u32), (u32, SeedHit)> = HashMap::new();
+    // BTreeMap, not HashMap: `into_values` below iterates, and the
+    // hits it yields reach canonical output — ordered iteration keeps
+    // that path deterministic by construction (wga-lint: determinism).
+    let mut bands: BTreeMap<(u32, u32), (u32, SeedHit)> = BTreeMap::new();
 
     let end = query.len().saturating_sub(pattern.span().saturating_sub(1));
     let mut qpos = 0usize;

@@ -49,6 +49,7 @@ impl SeedTable {
             }
         }
         let mut dropped_repeats = 0u64;
+        // lint: allow(determinism): per-entry predicate + commutative sum — visit order cannot change the surviving set or the count
         index.retain(|_, positions| {
             if positions.len() > max_occurrences {
                 dropped_repeats += positions.len() as u64;

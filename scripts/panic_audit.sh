@@ -1,60 +1,22 @@
 #!/usr/bin/env bash
-# Panic audit: counts panic-prone call sites (.unwrap() / .expect( /
-# panic!) in the NON-TEST code of every library crate and the CLI, and
-# fails when the count grows beyond the recorded baseline. New fallible
-# code should return typed WgaError results instead of widening the
-# panic surface; deliberate additions must update
-# scripts/panic_baseline.txt with a justification in the commit.
+# Panic audit — thin wrapper around `wga-lint --rule panics`.
 #
-# The bench harness (crates/bench) is exempt: it is a terminal tool that
-# exits on bad flags by design.
+# The awk/grep implementation this replaces truncated each file at its
+# first `#[cfg(test)]` line (missing mid-file test modules) and counted
+# doc-comment examples as code. wga-lint lexes properly: comments,
+# strings, raw strings and char literals are excluded, `#[cfg(test)]`
+# items are brace-matched anywhere in a file, and `unreachable!` /
+# `todo!` / `unimplemented!` count alongside `.unwrap()` / `.expect(` /
+# `panic!`.
 #
-# Test code is excluded by stripping each file from its first
-# `#[cfg(test)]` line onward (test modules sit at the bottom of every
-# file in this workspace).
+# The baseline lives in ONE place now: the `[baseline panics]` section
+# of scripts/wga-lint.manifest (per-directory counts; the
+# `[panics-forbidden]` section keeps crates/core/src/obs at zero and
+# `[panics-exempt]` skips the bench harness). Deliberate additions must
+# update the manifest with a justification in the commit; waive single
+# sites with
+#   // lint: allow(panics): <why>
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-AUDIT_DIRS=(
-  crates/core/src
-  crates/genome/src
-  crates/seed/src
-  crates/align/src
-  crates/chain/src
-  crates/hwsim/src
-  crates/protein/src
-  src
-)
-
-dir_count() {
-  local dir="$1" total=0 n f
-  for f in $(find "$dir" -name '*.rs' | sort); do
-    n=$(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$f" | grep -c -E '\.unwrap\(\)|\.expect\(|panic!' || true)
-    total=$((total + n))
-  done
-  echo "$total"
-}
-
-count=0
-echo "panic-prone call sites per directory (non-test code):"
-for dir in "${AUDIT_DIRS[@]}"; do
-  n=$(dir_count "$dir")
-  printf '  %-20s %s\n' "$dir" "$n"
-  count=$((count + n))
-done
-
-# The observability layer must stay panic-free: its hooks run inside
-# every hot loop and inside Drop impls, where a panic would abort.
-obs=$(dir_count crates/core/src/obs)
-if [ "$obs" -ne 0 ]; then
-  echo "error: panic audit failed — crates/core/src/obs has $obs panic-prone call sites; the observability layer must have none." >&2
-  exit 1
-fi
-
-baseline=$(tr -d '[:space:]' < scripts/panic_baseline.txt)
-echo "total: $count (baseline: $baseline)"
-if [ "$count" -gt "$baseline" ]; then
-  echo "error: panic audit failed — $count panic-prone call sites exceed the baseline of $baseline." >&2
-  echo "Return wga_core::WgaError instead, or justify the growth and update scripts/panic_baseline.txt." >&2
-  exit 1
-fi
+exec cargo run -q -p wga-lint -- --rule panics --no-json
