@@ -59,18 +59,20 @@ use crate::dataflow::ExecutorKind;
 use crate::obs::{strand_code, Counter, Obs, SpanName, STRAND_NA};
 use crate::dataflow::queue::BoundedQueue;
 use crate::error::{WgaError, WgaResult};
+use crate::faultsim::{FaultInjector, Hook};
 use crate::filter_engine::FilterContext;
-use crate::genome_pipeline::{AlignOptions, AssemblyReport, LocatedAlignment};
+use crate::genome_pipeline::{append_supervised, AlignOptions, AssemblyReport, LocatedAlignment};
 use crate::journal::{Journal, PairRecord};
 use crate::parallel::panic_message;
 use crate::report::{PairOutcome, RunEvent, RunOutcome, StageKind, Strand, WgaReport};
 use crate::stages::{extend_anchors, timed_seed_table};
+use crate::supervise::{self, RetryPolicy};
 use genome::assembly::Assembly;
 use genome::Sequence;
 use parking_lot::Mutex;
 use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -225,12 +227,46 @@ pub(crate) fn execute(
     let filter_alive = AtomicUsize::new(threads);
     let ext_alive = AtomicUsize::new(threads);
 
+    // Supervision state: the fault injector rides in on `obs` (built by
+    // `align_assemblies_observed`), every stage bumps the heartbeat on
+    // each unit of progress, and — when `--stall-timeout-ms` is set — a
+    // watchdog thread escalates a flat heartbeat by closing every queue,
+    // so a wedged run drains into `Failed` pairs instead of hanging.
+    let injector = obs.fault();
+    let retry_policy = injector.map_or(
+        RetryPolicy {
+            max_retries: options.max_retries,
+            ..RetryPolicy::default()
+        },
+        FaultInjector::policy,
+    );
+    let heartbeat = AtomicU64::new(0);
+    let watchdog_stop = AtomicBool::new(false);
+    let stalls = AtomicU64::new(0);
+
     let scope_out = crossbeam::thread::scope(|scope| {
+        // --- Stall watchdog --------------------------------------------
+        if options.stall_timeout_ms > 0 {
+            let (filter_q, extend_q, done_q) = (&filter_q, &extend_q, &done_q);
+            let (watchdog_stop, heartbeat, stalls) = (&watchdog_stop, &heartbeat, &stalls);
+            let timeout_ms = options.stall_timeout_ms;
+            scope.spawn(move |_| {
+                supervise::watch_heartbeat(watchdog_stop, heartbeat, timeout_ms, || {
+                    stalls.fetch_add(1, Ordering::Relaxed);
+                    if let Some(inj) = injector {
+                        inj.request_abort();
+                    }
+                    filter_q.close();
+                    extend_q.close();
+                    done_q.close();
+                });
+            });
+        }
         // --- Seeding producer ------------------------------------------
         {
             let (filter_q, extend_q, done_q) = (&filter_q, &extend_q, &done_q);
             let (seed_meter, table_build_ns) = (&seed_meter, &table_build_ns);
-            let resumed_flags = &resumed_flags;
+            let (resumed_flags, heartbeat) = (&resumed_flags, &heartbeat);
             scope.spawn(move |_| {
                 let _ = catch_unwind(AssertUnwindSafe(|| {
                     produce(
@@ -244,6 +280,8 @@ pub(crate) fn execute(
                         done_q,
                         seed_meter,
                         table_build_ns,
+                        heartbeat,
+                        &retry_policy,
                         obs,
                     )
                 }));
@@ -256,6 +294,7 @@ pub(crate) fn execute(
         for _ in 0..threads {
             let (filter_q, extend_q) = (&filter_q, &extend_q);
             let (filter_meter, filter_alive) = (&filter_meter, &filter_alive);
+            let heartbeat = &heartbeat;
             scope.spawn(move |_| {
                 let _guard = PoolGuard {
                     alive: filter_alive,
@@ -265,13 +304,35 @@ pub(crate) fn execute(
                     let wait = Instant::now();
                     let Some(task) = filter_q.pop() else { break };
                     filter_meter.add_idle(wait.elapsed());
-                    let busy = Instant::now();
-                    let result =
-                        run_filter_batch(params, &task, obs.with_pair(task.pair_id as u64));
-                    filter_meter.add_busy(busy.elapsed());
+                    let pair_obs = obs.with_pair(task.pair_id as u64);
+                    let result = match gate_queue(
+                        injector,
+                        &retry_policy,
+                        Hook::QueuePop,
+                        task.pair_id as u64,
+                        &pair_obs,
+                    ) {
+                        Ok(()) => {
+                            let busy = Instant::now();
+                            let result = run_filter_batch(params, &task, pair_obs);
+                            filter_meter.add_busy(busy.elapsed());
+                            result
+                        }
+                        // A queue fault that survives its retry budget
+                        // fails the batch (and, downstream, the pair).
+                        Err(error) => BatchResult {
+                            anchors: Vec::new(),
+                            processed: 0,
+                            items: task.hits.len() as u64,
+                            failed: Some(format!("queue.pop fault: {error}")),
+                            busy: Duration::ZERO,
+                            cells: 0,
+                        },
+                    };
                     filter_meter.add_items(result.processed);
                     filter_meter.add_cells(result.cells);
                     deposit(cells, extend_q, &task, result);
+                    heartbeat.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
@@ -280,6 +341,7 @@ pub(crate) fn execute(
         for _ in 0..threads {
             let (extend_q, done_q) = (&extend_q, &done_q);
             let (ext_meter, ext_alive) = (&ext_meter, &ext_alive);
+            let heartbeat = &heartbeat;
             scope.spawn(move |_| {
                 let _guard = PoolGuard {
                     alive: ext_alive,
@@ -290,11 +352,32 @@ pub(crate) fn execute(
                     let Some(job) = extend_q.pop() else { break };
                     ext_meter.add_idle(wait.elapsed());
                     let pair_id = job.pair_id;
-                    let busy = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        extend_pair(params, job, obs.with_pair(pair_id as u64))
-                    }));
-                    ext_meter.add_busy(busy.elapsed());
+                    let pair_obs = obs.with_pair(pair_id as u64);
+                    let gate = gate_queue(
+                        injector,
+                        &retry_policy,
+                        Hook::QueuePop,
+                        pair_id as u64,
+                        &pair_obs,
+                    );
+                    // A pair whose retry budget an earlier stage already
+                    // exhausted fails here instead of burning extension
+                    // work — the same `Failed` the other executors reach
+                    // through their pair-level panic containment.
+                    let result = match gate {
+                        Err(error) => Err(format!("queue.pop fault: {error}")),
+                        Ok(()) if injector.is_some_and(|inj| inj.is_poisoned(pair_id as u64)) => {
+                            Err(format!("injected fault: pair {pair_id}: retries exhausted"))
+                        }
+                        Ok(()) => {
+                            let busy = Instant::now();
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                extend_pair(params, job, pair_obs)
+                            }));
+                            ext_meter.add_busy(busy.elapsed());
+                            result.map_err(|payload| panic_message(payload.as_ref()))
+                        }
+                    };
                     let done = match result {
                         Ok(report) => {
                             ext_meter.add_items(report.counters.anchors_passed);
@@ -304,11 +387,12 @@ pub(crate) fn execute(
                                 result: Ok(report),
                             }
                         }
-                        Err(payload) => PairDone {
+                        Err(error) => PairDone {
                             pair_id,
-                            result: Err(panic_message(payload.as_ref())),
+                            result: Err(error),
                         },
                     };
+                    heartbeat.fetch_add(1, Ordering::Relaxed);
                     if done_q.push(done).is_err() {
                         break;
                     }
@@ -320,45 +404,72 @@ pub(crate) fn execute(
         let mut slots: Vec<Option<Result<WgaReport, String>>> = vec![None; npairs];
         let mut journal_err: Option<WgaError> = None;
         let mut collector_buf = obs.buffer();
-        while let Some(done) = done_q.pop() {
+        while let Some(mut done) = done_q.pop() {
+            heartbeat.fetch_add(1, Ordering::Relaxed);
             obs.add(Counter::PairsDone, 1);
-            if let Ok(report) = &done.result {
-                if journal_err.is_none() {
-                    if let Some(j) = journal.as_mut() {
-                        let (ti, qi) = (done.pair_id / qn, done.pair_id % qn);
-                        let ckpt_timer = collector_buf.start();
-                        let append = j.append(&PairRecord {
-                            target_chrom: tchroms[ti].name.clone(),
-                            query_chrom: qchroms[qi].name.clone(),
-                            outcome: report.outcome(),
-                            workload: report.workload,
-                            timings: report.timings,
-                            counters: report.counters,
-                            alignments: report.alignments.clone(),
-                        });
-                        collector_buf.finish_for_pair(
-                            ckpt_timer,
-                            SpanName::Checkpoint,
-                            done.pair_id as u64,
-                            STRAND_NA,
-                            0,
-                            1,
-                            0,
-                        );
-                        if let Err(e) = append {
-                            // The journal is broken: stop feeding the
-                            // pipeline, drain what's in flight, and
-                            // surface the error after the scope ends.
-                            journal_err = Some(e);
-                            filter_q.close();
-                            extend_q.close();
+            match &mut done.result {
+                Ok(report) => {
+                    // Fold the pair's fault accounting into its counters
+                    // before the record is journaled — the same freeze
+                    // point the barrier executor uses, so a resumed run
+                    // replays the same numbers.
+                    if let Some(inj) = injector {
+                        let faults = inj.take_pair(done.pair_id as u64);
+                        report.counters.faults_injected += faults.injected;
+                        report.counters.retries += faults.retries;
+                    }
+                    if journal_err.is_none() {
+                        if let Some(j) = journal.as_mut() {
+                            let (ti, qi) = (done.pair_id / qn, done.pair_id % qn);
+                            let pair_obs = obs.with_pair(done.pair_id as u64);
+                            let ckpt_timer = collector_buf.start();
+                            let append = append_supervised(
+                                j,
+                                &PairRecord {
+                                    target_chrom: tchroms[ti].name.clone(),
+                                    query_chrom: qchroms[qi].name.clone(),
+                                    outcome: report.outcome(),
+                                    workload: report.workload,
+                                    timings: report.timings,
+                                    counters: report.counters,
+                                    alignments: report.alignments.clone(),
+                                },
+                                &retry_policy,
+                                injector,
+                                &pair_obs,
+                            );
+                            collector_buf.finish_for_pair(
+                                ckpt_timer,
+                                SpanName::Checkpoint,
+                                done.pair_id as u64,
+                                STRAND_NA,
+                                0,
+                                1,
+                                0,
+                            );
+                            if let Err(e) = append {
+                                // The journal is broken: stop feeding the
+                                // pipeline, drain what's in flight, and
+                                // surface the error after the scope ends.
+                                journal_err = Some(e);
+                                filter_q.close();
+                                extend_q.close();
+                            }
                         }
+                    }
+                }
+                Err(_) => {
+                    // Failed pairs are not journaled; drop their per-pair
+                    // fault accounting (run totals keep it).
+                    if let Some(inj) = injector {
+                        let _ = inj.take_pair(done.pair_id as u64);
                     }
                 }
             }
             slots[done.pair_id] = Some(done.result);
         }
         collector_buf.flush();
+        watchdog_stop.store(true, Ordering::Relaxed);
         (slots, journal_err)
     });
     let (mut slots, journal_err) = match scope_out {
@@ -407,7 +518,14 @@ pub(crate) fn execute(
                 }
                 Some(Err(error)) => RunOutcome::Failed { error },
                 None => RunOutcome::Failed {
-                    error: "pair dropped: dataflow run aborted".to_string(),
+                    error: if stalls.load(Ordering::Relaxed) > 0 {
+                        format!(
+                            "pair stalled: no progress for {}ms; aborted by watchdog",
+                            options.stall_timeout_ms
+                        )
+                    } else {
+                        "pair dropped: dataflow run aborted".to_string()
+                    },
                 },
             }
         };
@@ -419,6 +537,9 @@ pub(crate) fn execute(
     }
     out.alignments
         .sort_by_key(|a| std::cmp::Reverse(a.aligned.alignment.score));
+    let stalls_detected = stalls.load(Ordering::Relaxed);
+    let (faults_injected, retries) = injector.map_or((0, 0), FaultInjector::totals);
+    out.counters.stalls_detected += stalls_detected;
     out.stage_metrics = Some(ExecutorMetrics {
         executor: ExecutorKind::Dataflow,
         threads,
@@ -426,6 +547,9 @@ pub(crate) fn execute(
         seeding: seed_meter.snapshot(1, 0),
         filtering: filter_meter.snapshot(threads, filter_q.max_occupancy()),
         extension: ext_meter.snapshot(threads, extend_q.max_occupancy()),
+        faults_injected,
+        retries,
+        stalls_detected,
     });
     Ok(out)
 }
@@ -446,9 +570,12 @@ fn produce<'a>(
     done_q: &BoundedQueue<PairDone>,
     seed_meter: &StageMeter,
     table_build_ns: &AtomicU64,
+    heartbeat: &AtomicU64,
+    retry_policy: &RetryPolicy,
     obs: Obs<'_>,
 ) {
     let qn = qchroms.len();
+    let injector = obs.fault();
     for (ti, tchrom) in tchroms.iter().enumerate() {
         // Built lazily so a fully-journaled target row skips the build.
         let mut table: Option<SeedTable> = None;
@@ -509,6 +636,7 @@ fn produce<'a>(
                 )
             }));
             seed_meter.add_busy(busy.elapsed());
+            heartbeat.fetch_add(1, Ordering::Relaxed);
             let lanes = match planned {
                 Ok(lanes) => lanes,
                 Err(payload) => {
@@ -572,15 +700,71 @@ fn produce<'a>(
                 continue;
             }
             *cells[pair_id].lock() = Some(job);
+            let mut cancelled = false;
             for task in tasks {
+                if let Err(error) = gate_queue(
+                    injector,
+                    retry_policy,
+                    Hook::QueuePush,
+                    pair_id as u64,
+                    &obs.with_pair(pair_id as u64),
+                ) {
+                    // The push fault survived its retry budget: cancel
+                    // the pair (workers find its cell empty and drop
+                    // their deposits) and fail it through `done_q`.
+                    *cells[pair_id].lock() = None;
+                    let done = PairDone {
+                        pair_id,
+                        result: Err(format!("queue.push fault: {error}")),
+                    };
+                    if done_q.push(done).is_err() {
+                        return;
+                    }
+                    cancelled = true;
+                    break;
+                }
                 let wait = Instant::now();
                 if filter_q.push(task).is_err() {
                     return; // shutdown in progress (journal failure)
                 }
                 seed_meter.add_idle(wait.elapsed());
+                heartbeat.fetch_add(1, Ordering::Relaxed);
+            }
+            if cancelled {
+                continue;
             }
         }
     }
+}
+
+/// Supervised chaos gate on a queue operation: injected errors are
+/// retried with the run's backoff policy (counted into the injector's
+/// totals), injected panics are contained to an error, and the failure
+/// that survives the budget is returned for the caller to escalate.
+fn gate_queue(
+    injector: Option<&FaultInjector>,
+    policy: &RetryPolicy,
+    hook: Hook,
+    pair: u64,
+    obs: &Obs<'_>,
+) -> Result<(), String> {
+    let Some(inj) = injector else {
+        return Ok(());
+    };
+    let site = (hook.code() << 32) | (pair & 0xFFFF_FFFF);
+    supervise::retry_io(
+        policy,
+        site,
+        |_| inj.count_retry(pair),
+        || match catch_unwind(AssertUnwindSafe(|| inj.gate_io(hook, pair, Some(obs)))) {
+            Ok(result) => result,
+            Err(payload) => Err(WgaError::io(
+                hook.as_str(),
+                std::io::Error::other(panic_message(payload.as_ref())),
+            )),
+        },
+    )
+    .map_err(|e| e.to_string())
 }
 
 /// A planned (pair, strand) stream before task slicing.
@@ -648,6 +832,12 @@ fn plan_lane<'a>(
     obs: Obs<'_>,
 ) -> PlannedLane<'a> {
     let mut buf = obs.buffer();
+    // Chaos hook: one `filter.batch` gate per (pair, strand) stream,
+    // planned in strand order — the same occurrence indices the serial
+    // and barrier drivers consume, so a plan hits every executor at the
+    // same logical point. The producer's `catch_unwind` contains the
+    // escalation panic, failing just this pair.
+    obs.fault_gate(Hook::FilterBatch);
     let seed_timer = buf.start();
     let seed_start = Instant::now();
     let seeding = dsoft_seeds(table, query.seq(), &params.dsoft);

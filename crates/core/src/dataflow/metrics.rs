@@ -89,6 +89,17 @@ pub struct ExecutorMetrics {
     pub filtering: StageMetrics,
     /// Extension worker pool telemetry.
     pub extension: StageMetrics,
+    /// Faults injected by `--fault-plan` across the whole run (zero
+    /// outside chaos runs; absent in pre-existing metrics JSON).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Supervised retries consumed recovering from injected or real
+    /// transient failures.
+    #[serde(default)]
+    pub retries: u64,
+    /// Watchdog stall escalations over the whole run.
+    #[serde(default)]
+    pub stalls_detected: u64,
 }
 
 /// Former name of [`ExecutorMetrics`], kept for source compatibility
@@ -107,13 +118,16 @@ impl ExecutorMetrics {
             )
         }
         format!(
-            "{{\"executor\":\"{}\",\"threads\":{},\"queue_depth\":{},\"seeding\":{},\"filtering\":{},\"extension\":{}}}",
+            "{{\"executor\":\"{}\",\"threads\":{},\"queue_depth\":{},\"seeding\":{},\"filtering\":{},\"extension\":{},\"faults_injected\":{},\"retries\":{},\"stalls_detected\":{}}}",
             self.executor.as_str(),
             self.threads,
             self.queue_depth,
             stage(&self.seeding),
             stage(&self.filtering),
-            stage(&self.extension)
+            stage(&self.extension),
+            self.faults_injected,
+            self.retries,
+            self.stalls_detected
         )
     }
 
@@ -132,8 +146,16 @@ impl ExecutorMetrics {
         } else {
             String::new()
         };
+        let chaos = if self.faults_injected > 0 || self.retries > 0 || self.stalls_detected > 0 {
+            format!(
+                "\n  supervision faults_injected={} retries={} stalls_detected={}",
+                self.faults_injected, self.retries, self.stalls_detected
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "stage metrics (executor={}, threads={}{queue}):\n{}\n{}\n{}",
+            "stage metrics (executor={}, threads={}{queue}):\n{}\n{}\n{}{chaos}",
             self.executor.as_str(),
             self.threads,
             line("seeding", &self.seeding),
@@ -214,8 +236,19 @@ mod tests {
                 );
             }
         }
+        for field in ["faults_injected", "retries", "stalls_detected"] {
+            assert_eq!(
+                value.get(field).and_then(|v| v.as_int()),
+                Some(0),
+                "{field}"
+            );
+        }
         assert!(metrics.summary().contains("executor=dataflow"));
         assert!(metrics.summary().contains("queue-depth=64"));
+        assert!(
+            !metrics.summary().contains("supervision"),
+            "clean runs stay clean in the summary"
+        );
         let barrier = ExecutorMetrics {
             executor: ExecutorKind::Barrier,
             ..metrics
@@ -223,5 +256,30 @@ mod tests {
         assert!(barrier.summary().contains("executor=barrier"));
         assert!(!barrier.summary().contains("queue-depth"));
         assert!(barrier.to_json().contains("\"executor\":\"barrier\""));
+        let chaotic = ExecutorMetrics {
+            faults_injected: 3,
+            retries: 2,
+            ..metrics
+        };
+        assert!(chaotic.summary().contains("faults_injected=3"));
+        assert!(chaotic.to_json().contains("\"faults_injected\":3"));
+    }
+
+    #[test]
+    fn metrics_json_without_fault_counters_still_parses() {
+        // A `--metrics-out` payload written before the supervision
+        // counters existed: it must keep parsing, and consumers read
+        // the absent counters as zero (the same tolerant-key
+        // convention the journal uses for `FunnelCounters`).
+        let old = "{\"executor\":\"dataflow\",\"threads\":2,\"queue_depth\":8,\
+                   \"seeding\":{\"workers\":1,\"items\":1,\"cells\":2,\"busy_us\":3,\"idle_us\":4,\"max_queue_occupancy\":0},\
+                   \"filtering\":{\"workers\":2,\"items\":1,\"cells\":2,\"busy_us\":3,\"idle_us\":4,\"max_queue_occupancy\":5},\
+                   \"extension\":{\"workers\":2,\"items\":1,\"cells\":2,\"busy_us\":3,\"idle_us\":4,\"max_queue_occupancy\":5}}";
+        let value = crate::journal::json::parse(old).unwrap();
+        assert_eq!(value.get("threads").and_then(|v| v.as_int()), Some(2));
+        for field in ["faults_injected", "retries", "stalls_detected"] {
+            let n = value.get(field).and_then(|v| v.as_int()).unwrap_or(0);
+            assert_eq!(n, 0, "{field} defaults to zero when absent");
+        }
     }
 }

@@ -292,6 +292,7 @@ mod tests {
             checkpoint: Some(path.clone()),
             executor: ExecutorKind::Dataflow,
             queue_depth: 4,
+            ..AlignOptions::default()
         };
         let first = align_assemblies_with(&params, &target, &query, &opts).unwrap();
         assert_eq!(first.resumed_pairs, 0);

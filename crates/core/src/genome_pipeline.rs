@@ -25,12 +25,14 @@
 use crate::config::WgaParams;
 use crate::dataflow::{ExecutorKind, ExecutorMetrics, StageMetrics, DEFAULT_QUEUE_DEPTH};
 use crate::error::{WgaError, WgaResult};
-use crate::journal::{params_fingerprint, Journal, PairRecord};
+use crate::faultsim::{FaultInjector, FaultPlan, Hook};
+use crate::journal::{params_fingerprint, Journal, JournalStats, PairRecord};
 use crate::obs::{Counter, Obs, SpanName, STRAND_NA};
 use crate::report::{
     FunnelCounters, PairOutcome, RunOutcome, StageTimings, Strand, WgaAlignment, WgaReport,
 };
 use crate::stages::timed_seed_table;
+use crate::supervise::{self, RetryPolicy};
 use genome::assembly::Assembly;
 use genome::Sequence;
 use hwsim::Workload;
@@ -38,6 +40,7 @@ use seed::SeedTable;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// One alignment located on a chromosome pair.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,6 +71,18 @@ pub struct AlignOptions {
     /// Bounded-queue capacity of the dataflow executor's inter-stage
     /// queues (ignored by the barrier executor). Must be at least 1.
     pub queue_depth: usize,
+    /// Supervised retries per fault site (`--max-retries`): how many
+    /// times a transient journal/sink failure — or an injected error —
+    /// is retried with capped-exponential backoff before escalating.
+    pub max_retries: u32,
+    /// Dataflow stall watchdog timeout (`--stall-timeout-ms`): when a
+    /// dataflow run makes no progress for this long, its queues are
+    /// closed and unfinished pairs fail instead of hanging. `0` (the
+    /// default) disables the watchdog; ignored by the other executors.
+    pub stall_timeout_ms: u64,
+    /// Fault-injection plan (`--fault-plan` / `WGA_FAULT_PLAN`). `None`
+    /// outside chaos runs.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for AlignOptions {
@@ -77,6 +92,9 @@ impl Default for AlignOptions {
             checkpoint: None,
             executor: ExecutorKind::Barrier,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            max_retries: 1,
+            stall_timeout_ms: 0,
+            fault_plan: None,
         }
     }
 }
@@ -106,6 +124,12 @@ pub struct AssemblyReport {
     /// run to run, results do not.
     #[serde(default)]
     pub stage_metrics: Option<ExecutorMetrics>,
+    /// What journal recovery found when this run resumed from a
+    /// checkpoint (`None` without a checkpoint). Excluded from
+    /// [`AssemblyReport::canonical_text`]: recovery circumstances vary,
+    /// results do not.
+    #[serde(default)]
+    pub journal_stats: Option<JournalStats>,
 }
 
 impl AssemblyReport {
@@ -264,13 +288,29 @@ pub fn align_assemblies_observed(
     if options.executor == ExecutorKind::Dataflow && options.queue_depth == 0 {
         return Err(WgaError::config("queue depth must be at least 1"));
     }
+    let injector = options
+        .fault_plan
+        .as_ref()
+        .map(|plan| FaultInjector::new((**plan).clone(), options.max_retries));
+    let obs = obs.with_fault(injector.as_ref());
+    let retry_policy = injector.as_ref().map_or(
+        RetryPolicy {
+            max_retries: options.max_retries,
+            ..RetryPolicy::default()
+        },
+        FaultInjector::policy,
+    );
+
     let mut journal = match &options.checkpoint {
         Some(path) => Some(Journal::open(path, &params_fingerprint(params))?),
         None => None,
     };
+    let journal_stats = journal.as_ref().map(Journal::stats);
 
     if options.executor == ExecutorKind::Dataflow {
-        return crate::dataflow::execute(params, target, query, options, journal, obs);
+        let mut report = crate::dataflow::execute(params, target, query, options, journal, obs)?;
+        report.journal_stats = journal_stats;
+        return Ok(report);
     }
 
     let qn = query.chromosomes().len();
@@ -344,12 +384,20 @@ pub fn align_assemblies_observed(
                         pair_obs,
                     )
                 })) {
-                    Ok(report) => {
+                    Ok(mut report) => {
+                        // Fold the pair's fault accounting into its
+                        // counters before the record is journaled, so a
+                        // resumed run replays the same numbers.
+                        if let Some(inj) = injector.as_ref() {
+                            let faults = inj.take_pair(pair_obs.pair());
+                            report.counters.faults_injected += faults.injected;
+                            report.counters.retries += faults.retries;
+                        }
                         let outcome = report.outcome();
                         if let Some(journal) = journal.as_mut() {
                             let mut buf = pair_obs.buffer();
                             let ckpt_timer = buf.start();
-                            journal.append(&PairRecord {
+                            let record = PairRecord {
                                 target_chrom: tchrom.name.clone(),
                                 query_chrom: qchrom.name.clone(),
                                 outcome: outcome.clone(),
@@ -357,7 +405,14 @@ pub fn align_assemblies_observed(
                                 timings: report.timings,
                                 counters: report.counters,
                                 alignments: report.alignments.clone(),
-                            })?;
+                            };
+                            append_supervised(
+                                journal,
+                                &record,
+                                &retry_policy,
+                                injector.as_ref(),
+                                &pair_obs,
+                            )?;
                             buf.finish(ckpt_timer, SpanName::Checkpoint, STRAND_NA, 0, 1, 0);
                         }
                         out.workload.merge(&report.workload);
@@ -374,9 +429,16 @@ pub fn align_assemblies_observed(
                             }));
                         outcome
                     }
-                    Err(payload) => RunOutcome::Failed {
-                        error: crate::parallel::panic_message(payload.as_ref()),
-                    },
+                    Err(payload) => {
+                        // Failed pairs are not journaled; drop their
+                        // per-pair fault accounting (run totals keep it).
+                        if let Some(inj) = injector.as_ref() {
+                            let _ = inj.take_pair(pair_obs.pair());
+                        }
+                        RunOutcome::Failed {
+                            error: crate::parallel::panic_message(payload.as_ref()),
+                        }
+                    }
                 }
             } else {
                 // Unreachable: the build attempt always sets one of the
@@ -394,8 +456,50 @@ pub fn align_assemblies_observed(
     }
     out.alignments
         .sort_by_key(|a| std::cmp::Reverse(a.aligned.alignment.score));
-    out.stage_metrics = Some(barrier_metrics(&out, options.threads));
+    let mut metrics = barrier_metrics(&out, options.threads);
+    if let Some(inj) = injector.as_ref() {
+        let (faults_injected, retries) = inj.totals();
+        metrics.faults_injected = faults_injected;
+        metrics.retries = retries;
+    }
+    out.stage_metrics = Some(metrics);
+    out.journal_stats = journal_stats;
     Ok(out)
+}
+
+/// Appends one pair record under supervision: the write is retried with
+/// the run's backoff policy, and chaos runs inject `journal.append` /
+/// `journal.sync` faults around the real append. Retries count into the
+/// injector's run totals (the pair's own counters are already frozen
+/// inside `record`).
+pub(crate) fn append_supervised(
+    journal: &mut Journal,
+    record: &PairRecord,
+    policy: &RetryPolicy,
+    injector: Option<&FaultInjector>,
+    obs: &Obs<'_>,
+) -> WgaResult<()> {
+    let pair = obs.pair();
+    let site = (Hook::JournalAppend.code() << 32) | (pair & 0xFFFF_FFFF);
+    supervise::retry_io(
+        policy,
+        site,
+        |_| {
+            if let Some(inj) = injector {
+                inj.count_retry(pair);
+            }
+        },
+        || {
+            if let Some(inj) = injector {
+                inj.gate_io(Hook::JournalAppend, pair, Some(obs))?;
+            }
+            journal.append(record)?;
+            if let Some(inj) = injector {
+                inj.gate_io(Hook::JournalSync, pair, Some(obs))?;
+            }
+            Ok(())
+        },
+    )
 }
 
 /// Derives [`ExecutorMetrics`] for a barrier run from the aggregate
@@ -432,6 +536,8 @@ fn barrier_metrics(out: &AssemblyReport, threads: usize) -> ExecutorMetrics {
             idle_us: 0,
             max_queue_occupancy: 0,
         },
+        // Fault totals are filled in by the caller from the injector.
+        ..ExecutorMetrics::default()
     }
 }
 

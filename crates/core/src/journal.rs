@@ -12,10 +12,14 @@
 //!
 //! The encoding is a self-contained JSON subset (objects, arrays,
 //! strings, integers) written and parsed by this module — the workspace
-//! deliberately has no JSON dependency. A torn final line (crash mid-
-//! write) is tolerated and ignored; corruption anywhere else is a typed
-//! [`WgaError::Checkpoint`] error, as is a parameter-fingerprint
-//! mismatch.
+//! deliberately has no JSON dependency. Since format version 2 every
+//! record carries a trailing CRC32C over its own bytes, so bit rot is
+//! detected rather than silently decoded; version-1 journals (no CRC)
+//! still decode. Damage is tolerated, not fatal: a torn final line
+//! (crash mid-append) is dropped, a corrupt *interior* record is
+//! skipped — its pair simply re-runs on resume — and both are counted
+//! in [`JournalStats`]. Only a header mismatch (wrong format, wrong
+//! parameter fingerprint) aborts the resume.
 
 use crate::config::WgaParams;
 use crate::error::{WgaError, WgaResult};
@@ -24,6 +28,7 @@ use crate::report::{
 };
 use align::{AlignOp, Alignment, Cigar};
 use hwsim::Workload;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -32,8 +37,57 @@ use std::time::Duration;
 
 /// Journal format marker.
 const FORMAT: &str = "wga-journal";
-/// Journal format version.
-const VERSION: i128 = 1;
+/// Journal format version written to new headers (2 = CRC'd records).
+const VERSION: i128 = 2;
+
+/// CRC32C (Castagnoli) lookup table, built at compile time. The
+/// reflected polynomial matches the SSE4.2 `crc32` instruction and the
+/// iSCSI/ext4 convention, so journals are checkable with standard
+/// tooling.
+const CRC32C_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i as usize] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32C (Castagnoli) of `bytes` — the per-record checksum appended to
+/// every journal line since format version 2. Table-driven and
+/// integer-only.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// What recovery found in an existing journal, surfaced at resume time
+/// (and in the assembly report) so damage is visible without being
+/// fatal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// Pair records successfully recovered.
+    pub records_recovered: u64,
+    /// Interior records dropped for failing to parse or failing their
+    /// CRC check; their pairs re-run on resume.
+    pub corrupt_records_skipped: u64,
+    /// Whether a torn final line (crash mid-append) was dropped.
+    pub torn_tail_dropped: bool,
+}
 
 /// One completed chromosome pair as stored in the journal.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,17 +130,24 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     recovered: HashMap<(String, String), PairRecord>,
+    stats: JournalStats,
 }
 
 impl Journal {
     /// Opens (or creates) a journal at `path` for a run with the given
     /// parameter fingerprint, recovering previously completed pairs.
     ///
+    /// Damaged records are tolerated: a torn final line (crash
+    /// mid-append) is dropped, and a corrupt interior record — bad
+    /// JSON or a CRC mismatch — is skipped so its pair re-runs. Both
+    /// are counted in [`Journal::stats`] and pruned from the file so
+    /// the damage does not accumulate across resumes.
+    ///
     /// # Errors
     ///
     /// [`WgaError::Io`] on filesystem failure; [`WgaError::Checkpoint`]
-    /// when the journal belongs to a run with different parameters or a
-    /// non-final record is corrupt. A torn final line is ignored.
+    /// when the journal belongs to a run with different parameters or
+    /// is not a wga journal at all.
     pub fn open(path: &Path, fingerprint: &str) -> WgaResult<Journal> {
         let display = path.display().to_string();
         let existing = match std::fs::read_to_string(path) {
@@ -96,6 +157,7 @@ impl Journal {
         };
 
         let mut recovered = HashMap::new();
+        let mut stats = JournalStats::default();
         let mut needs_header = true;
         let mut rewrite: Option<String> = None;
         if let Some(text) = existing {
@@ -111,7 +173,7 @@ impl Journal {
                 let rest: Vec<(usize, &&str)> = nonempty.collect();
                 let last_idx = rest.len().saturating_sub(1);
                 let mut kept: Vec<&str> = vec![*header];
-                let mut dropped_torn_tail = false;
+                let mut dropped_any = false;
                 for (i, (line_no, line)) in rest.iter().enumerate() {
                     match decode_record(line) {
                         Ok(rec) => {
@@ -124,21 +186,28 @@ impl Journal {
                         // A torn final line is the signature of a crash
                         // mid-append: recover everything before it.
                         Err(_) if i == last_idx => {
-                            dropped_torn_tail = true;
+                            stats.torn_tail_dropped = true;
+                            dropped_any = true;
                         }
+                        // A corrupt interior record is damage, not a
+                        // crash artifact — skip it (the pair re-runs)
+                        // and count it instead of aborting the resume.
                         Err(m) => {
-                            return Err(WgaError::checkpoint(
-                                &display,
-                                format!("line {}: {m}", line_no + 1),
-                            ));
+                            eprintln!(
+                                "[wga] warning: {display}: line {}: \
+                                 skipping corrupt journal record ({m})",
+                                line_no + 1
+                            );
+                            stats.corrupt_records_skipped += 1;
+                            dropped_any = true;
                         }
                     }
                 }
-                // The file still ends with the torn bytes; appending onto
-                // them would corrupt the next record, so shrink the journal
-                // back to its valid prefix (in original record order)
-                // before reopening for append.
-                if dropped_torn_tail {
+                // The file still contains the dropped bytes; appending
+                // after a torn tail would corrupt the next record, so
+                // shrink the journal back to its valid lines (in
+                // original record order) before reopening for append.
+                if dropped_any {
                     let mut content = String::with_capacity(text.len());
                     for line in kept {
                         content.push_str(line);
@@ -148,6 +217,7 @@ impl Journal {
                 }
             }
         }
+        stats.records_recovered = recovered.len() as u64;
         if let Some(content) = &rewrite {
             std::fs::write(path, content).map_err(|e| WgaError::io(&display, e))?;
         }
@@ -175,12 +245,19 @@ impl Journal {
             path: path.to_path_buf(),
             file,
             recovered,
+            stats,
         })
     }
 
     /// Number of pairs recovered from disk at open time.
     pub fn recovered_pairs(&self) -> usize {
         self.recovered.len()
+    }
+
+    /// What recovery found at open time: records kept, corrupt records
+    /// skipped, torn tail dropped.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
     }
 
     /// Removes and returns the recovered record for one chromosome pair,
@@ -214,7 +291,9 @@ fn check_header(line: &str, fingerprint: &str) -> Result<(), String> {
         _ => return Err("not a wga journal".into()),
     }
     match value.get("version").and_then(json::Json::as_int) {
-        Some(VERSION) => {}
+        // Version 1 journals predate per-record CRCs; their records
+        // simply skip the CRC check.
+        Some(1 | VERSION) => {}
         Some(v) => return Err(format!("unsupported journal version {v}")),
         None => return Err("missing journal version".into()),
     }
@@ -276,8 +355,9 @@ fn encode_timings(out: &mut String, t: &StageTimings) {
 
 fn encode_counters(out: &mut String, c: &FunnelCounters) {
     out.push_str(&format!(
-        "{{\"raw_seed_hits\":{},\"hits_filtered\":{},\"filter_cells\":{},\"anchors_passed\":{},\"anchors_absorbed\":{},\"alignments_kept\":{}}}",
-        c.raw_seed_hits, c.hits_filtered, c.filter_cells, c.anchors_passed, c.anchors_absorbed, c.alignments_kept
+        "{{\"raw_seed_hits\":{},\"hits_filtered\":{},\"filter_cells\":{},\"anchors_passed\":{},\"anchors_absorbed\":{},\"alignments_kept\":{},\"faults_injected\":{},\"retries\":{},\"stalls_detected\":{}}}",
+        c.raw_seed_hits, c.hits_filtered, c.filter_cells, c.anchors_passed, c.anchors_absorbed, c.alignments_kept,
+        c.faults_injected, c.retries, c.stalls_detected
     ));
 }
 
@@ -390,7 +470,13 @@ fn encode_record(record: &PairRecord) -> String {
         encode_alignment(&mut out, wa);
     }
     out.push(']');
-    out.push_str("}\n");
+    out.push('}');
+    // Self-checksum: CRC32C over the record *without* the crc field,
+    // appended as the final member. decode strips the suffix, restores
+    // the '}' and recomputes.
+    let crc = crc32c(out.as_bytes());
+    out.pop();
+    out.push_str(&format!(",\"crc\":{crc}}}\n"));
     out
 }
 
@@ -568,6 +654,9 @@ fn decode_counters(value: Option<&json::Json>) -> Result<FunnelCounters, String>
         anchors_passed: opt("anchors_passed")?,
         anchors_absorbed: opt("anchors_absorbed")?,
         alignments_kept: opt("alignments_kept")?,
+        faults_injected: opt("faults_injected")?,
+        retries: opt("retries")?,
+        stalls_detected: opt("stalls_detected")?,
     })
 }
 
@@ -579,8 +668,36 @@ fn decode_timings(value: &json::Json) -> Result<StageTimings, String> {
     })
 }
 
+/// Checks the trailing `,"crc":N` self-checksum of an encoded record
+/// line. `expected` is the parsed crc field value; the checksum covers
+/// the record with that trailing field stripped and the closing brace
+/// restored.
+fn verify_crc(line: &str, expected: u32) -> Result<(), String> {
+    let idx = line
+        .rfind(",\"crc\":")
+        .ok_or("crc field present but not trailing")?;
+    let mut body = String::with_capacity(idx + 1);
+    body.push_str(&line[..idx]);
+    body.push('}');
+    let actual = crc32c(body.as_bytes());
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(format!("crc mismatch (stored {expected}, computed {actual})"))
+    }
+}
+
 fn decode_record(line: &str) -> Result<PairRecord, String> {
     let value = json::parse(line)?;
+    // Version-2 records carry a CRC; version-1 records (no crc field)
+    // are accepted unchecked.
+    if let Some(crc) = value.get("crc") {
+        let expected = crc
+            .as_int()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or("crc field is not a u32")?;
+        verify_crc(line, expected)?;
+    }
     let alignments = field(&value, "alignments")?
         .as_arr()
         .ok_or("alignments is not an array")?
@@ -923,6 +1040,9 @@ mod tests {
                 anchors_passed: 3,
                 anchors_absorbed: 1,
                 alignments_kept: 1,
+                faults_injected: 1,
+                retries: 1,
+                stalls_detected: 0,
             },
             alignments: vec![WgaAlignment {
                 alignment: Alignment::new(5, 9, cigar, 1234),
@@ -940,11 +1060,19 @@ mod tests {
         assert_eq!(parsed, record);
     }
 
+    /// Reverts an encoded line to its version-1 form: no crc field.
+    fn strip_crc(line: &str) -> String {
+        let trimmed = line.trim_end();
+        let idx = trimmed.rfind(",\"crc\":").expect("encoded line has a crc");
+        format!("{}}}", &trimmed[..idx])
+    }
+
     #[test]
     fn record_without_counters_decodes_as_zero() {
-        // A journal line written before the counters field existed.
+        // A version-1 journal line written before the counters field
+        // (or the crc) existed.
         let record = sample_record();
-        let line = encode_record(&record);
+        let line = strip_crc(&encode_record(&record));
         let counters_json = {
             let mut buf = String::new();
             encode_counters(&mut buf, &record.counters);
@@ -956,6 +1084,34 @@ mod tests {
         assert_eq!(parsed.counters, FunnelCounters::default());
         assert_eq!(parsed.workload, record.workload);
         assert_eq!(parsed.alignments, record.alignments);
+    }
+
+    #[test]
+    fn record_without_crc_decodes_unchecked() {
+        // Version-1 records have no crc member and must decode as-is.
+        let record = sample_record();
+        let legacy = strip_crc(&encode_record(&record));
+        assert_eq!(decode_record(&legacy).unwrap(), record);
+    }
+
+    #[test]
+    fn crc32c_matches_reference_vector() {
+        // The canonical CRC32C check value (iSCSI, RFC 3720).
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_crc() {
+        let line = encode_record(&sample_record());
+        let trimmed = line.trim_end();
+        assert!(decode_record(trimmed).is_ok());
+        // Flip one digit of the score: still valid JSON, so only the
+        // checksum can catch it.
+        let tampered = trimmed.replace("\"score\":1234", "\"score\":1235");
+        assert_ne!(tampered, trimmed);
+        let err = decode_record(&tampered).unwrap_err();
+        assert!(err.contains("crc mismatch"), "{err}");
     }
 
     #[test]
@@ -1010,7 +1166,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_middle_record_is_an_error() {
+    fn corrupt_interior_record_is_skipped_and_counted() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("wga-journal-corrupt-{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
@@ -1021,14 +1177,55 @@ mod tests {
         }
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            // A corrupt line *followed by* a valid line is corruption,
-            // not a torn tail.
+            // A corrupt line *followed by* a valid line is interior
+            // corruption, not a torn tail.
             f.write_all(b"{garbage\n").unwrap();
             let mut rec = sample_record();
             rec.target_chrom = "chrII".into();
             f.write_all(encode_record(&rec).as_bytes()).unwrap();
         }
-        assert!(Journal::open(&path, &fp).is_err());
+        let journal = Journal::open(&path, &fp).unwrap();
+        assert_eq!(journal.recovered_pairs(), 2, "both valid records survive");
+        let stats = journal.stats();
+        assert_eq!(stats.records_recovered, 2);
+        assert_eq!(stats.corrupt_records_skipped, 1);
+        assert!(!stats.torn_tail_dropped);
+        drop(journal);
+        // The corrupt line was pruned on open, so a second resume is
+        // clean.
+        let journal = Journal::open(&path, &fp).unwrap();
+        assert_eq!(journal.stats().corrupt_records_skipped, 0);
+        assert_eq!(journal.recovered_pairs(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_rotted_interior_record_reruns_its_pair() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("wga-journal-bitrot-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let fp = params_fingerprint(&WgaParams::darwin_wga());
+        {
+            let mut journal = Journal::open(&path, &fp).unwrap();
+            journal.append(&sample_record()).unwrap();
+            let mut rec = sample_record();
+            rec.target_chrom = "chrII".into();
+            journal.append(&rec).unwrap();
+        }
+        // Flip bytes mid-file: turn the first record's score into a
+        // different (still valid) number. Only the CRC can notice.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"score\":1234", "\"score\":9999", 1);
+        assert_ne!(tampered, text);
+        std::fs::write(&path, tampered).unwrap();
+
+        let mut journal = Journal::open(&path, &fp).unwrap();
+        assert_eq!(journal.stats().corrupt_records_skipped, 1);
+        assert!(
+            journal.take("chr\"I\\", "chr1").is_none(),
+            "the damaged pair must re-run, not resume"
+        );
+        assert!(journal.take("chrII", "chr1").is_some(), "undamaged pair resumes");
         let _ = std::fs::remove_file(&path);
     }
 

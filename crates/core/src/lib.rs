@@ -39,7 +39,9 @@ pub mod absorb;
 pub mod budget;
 pub mod config;
 pub mod dataflow;
+pub mod durable;
 pub mod error;
+pub mod faultsim;
 pub mod filter_engine;
 pub mod genome_pipeline;
 pub mod journal;
@@ -49,6 +51,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod stages;
+pub mod supervise;
 
 pub use config::WgaParams;
 pub use error::{WgaError, WgaResult};

@@ -79,11 +79,14 @@ pub enum SpanName {
     HwsimBsw,
     /// Modeled GACT-X accelerator time for the whole run (hwsim bridge).
     HwsimGactx,
+    /// One injected fault (`seq` = hook code, `items` = fault-kind
+    /// code), the audit trail of a chaos run.
+    Fault,
 }
 
 impl SpanName {
     /// Every span name, for schema tests and documentation.
-    pub const ALL: [SpanName; 8] = [
+    pub const ALL: [SpanName; 9] = [
         SpanName::Seed,
         SpanName::SeedTable,
         SpanName::FilterBatch,
@@ -92,6 +95,7 @@ impl SpanName {
         SpanName::Checkpoint,
         SpanName::HwsimBsw,
         SpanName::HwsimGactx,
+        SpanName::Fault,
     ];
 
     /// The wire name used in trace JSONL lines.
@@ -105,6 +109,7 @@ impl SpanName {
             SpanName::Checkpoint => "checkpoint",
             SpanName::HwsimBsw => "hwsim.bsw",
             SpanName::HwsimGactx => "hwsim.gactx",
+            SpanName::Fault => "fault",
         }
     }
 }
@@ -247,12 +252,15 @@ impl Recorder for NullRecorder {}
 
 /// The observation handle threaded through the drivers.
 ///
-/// `Copy` and two words wide; cloning it into worker closures is free.
-/// When disabled (`rec == None`) every method is a branch on a register
-/// — no time is read, no atomics touched.
+/// `Copy` and a few words wide; cloning it into worker closures is
+/// free. When disabled (`rec == None`) every method is a branch on a
+/// register — no time is read, no atomics touched. The optional fault
+/// injector rides along the same way: `None` (the default everywhere)
+/// makes every `fault_gate` call a single branch.
 #[derive(Clone, Copy)]
 pub struct Obs<'a> {
     rec: Option<&'a dyn Recorder>,
+    fault: Option<&'a crate::faultsim::FaultInjector>,
     epoch: Instant,
     pair: u64,
 }
@@ -261,6 +269,7 @@ impl std::fmt::Debug for Obs<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Obs")
             .field("enabled", &self.rec.is_some())
+            .field("faults", &self.fault.is_some())
             .field("pair", &self.pair)
             .finish()
     }
@@ -271,6 +280,7 @@ impl Obs<'static> {
     pub fn off() -> Obs<'static> {
         Obs {
             rec: None,
+            fault: None,
             epoch: Instant::now(),
             pair: NO_PAIR,
         }
@@ -284,6 +294,7 @@ impl<'a> Obs<'a> {
     pub fn new(recorder: &'a dyn Recorder) -> Obs<'a> {
         Obs {
             rec: recorder.enabled().then_some(recorder),
+            fault: None,
             epoch: Instant::now(),
             pair: NO_PAIR,
         }
@@ -292,6 +303,49 @@ impl<'a> Obs<'a> {
     /// A copy of this handle attributing subsequent spans to `pair`.
     pub fn with_pair(self, pair: u64) -> Obs<'a> {
         Obs { pair, ..self }
+    }
+
+    /// A copy of this handle carrying (or dropping) a fault injector.
+    /// Hook points reach it through [`Obs::fault_gate`].
+    pub fn with_fault(self, fault: Option<&'a crate::faultsim::FaultInjector>) -> Obs<'a> {
+        Obs { fault, ..self }
+    }
+
+    /// The fault injector riding on this handle, if any.
+    pub fn fault(&self) -> Option<&'a crate::faultsim::FaultInjector> {
+        self.fault
+    }
+
+    /// Runs the fault-injection gate for `hook` at this handle's pair.
+    /// A single branch when no injector is attached. May sleep, return
+    /// after an injected-error retry, or panic (injected panics and
+    /// exhausted retries escalate through the executors' existing
+    /// pair-level panic isolation) — see [`crate::faultsim`].
+    #[inline]
+    pub fn fault_gate(&self, hook: crate::faultsim::Hook) {
+        if let Some(injector) = self.fault {
+            injector.gate(hook, self);
+        }
+    }
+
+    /// Records one injected fault as a [`SpanName::Fault`] span
+    /// (`seq` = hook code, `items` = fault-kind code). Called by the
+    /// injector itself so every injection is auditable in the trace.
+    pub fn fault_span(&self, hook_code: u64, kind_code: u64) {
+        if let Some(rec) = self.rec {
+            let now = Instant::now();
+            let mut spans = vec![Span {
+                name: SpanName::Fault,
+                pair: self.pair,
+                strand: STRAND_NA,
+                seq: hook_code,
+                start_us: now.saturating_duration_since(self.epoch).as_micros() as u64,
+                dur_us: 0,
+                items: kind_code,
+                cells: 0,
+            }];
+            rec.flush_spans(&mut spans);
+        }
     }
 
     /// The pair this handle attributes spans to ([`NO_PAIR`] if unset).

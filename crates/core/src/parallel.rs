@@ -171,6 +171,10 @@ fn run_strand_parallel(
     buf.flush();
 
     // --- Filtering (parallel over hits) ------------------------------------
+    // Chaos hook: fires once per (pair, strand) on the driving thread,
+    // exactly where the serial driver gates, so `filter.batch`
+    // occurrence indices are identical across executors.
+    obs.fault_gate(crate::faultsim::Hook::FilterBatch);
     let filter_start = Instant::now();
     let hits = clamp_hits(params, &seeding.hits, report);
     let filtered = filter_hits_parallel(params, target, query, hits, threads, pair_start, scode, obs);

@@ -153,6 +153,9 @@ impl WgaPipeline {
         );
 
         // --- Filtering ---------------------------------------------------
+        // Chaos hook: the serial driver runs one filter batch per
+        // strand, so a `filter.batch` fault plan hits it here.
+        obs.fault_gate(crate::faultsim::Hook::FilterBatch);
         let batch_timer = buf.start();
         let filter_start = Instant::now();
         let hits = clamp_hits(params, &seeding.hits, report);

@@ -161,6 +161,17 @@ pub struct FunnelCounters {
     pub anchors_absorbed: u64,
     /// Alignments surviving the extension threshold.
     pub alignments_kept: u64,
+    /// Faults injected into this pair by `--fault-plan` (zero outside
+    /// chaos runs; absent in records serialized before the field).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Supervised retries this pair consumed recovering from injected
+    /// or real transient failures.
+    #[serde(default)]
+    pub retries: u64,
+    /// Watchdog stall escalations attributed to this pair.
+    #[serde(default)]
+    pub stalls_detected: u64,
 }
 
 impl FunnelCounters {
@@ -172,6 +183,9 @@ impl FunnelCounters {
         self.anchors_passed += other.anchors_passed;
         self.anchors_absorbed += other.anchors_absorbed;
         self.alignments_kept += other.alignments_kept;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.stalls_detected += other.stalls_detected;
     }
 }
 
@@ -296,10 +310,16 @@ mod tests {
             anchors_passed: 3,
             anchors_absorbed: 1,
             alignments_kept: 2,
+            faults_injected: 2,
+            retries: 1,
+            stalls_detected: 1,
         };
         a.merge(&a.clone());
         assert_eq!(a.raw_seed_hits, 10);
         assert_eq!(a.filter_cells, 800);
         assert_eq!(a.alignments_kept, 4);
+        assert_eq!(a.faults_injected, 4);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.stalls_detected, 2);
     }
 }

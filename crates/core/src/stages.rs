@@ -197,6 +197,9 @@ pub(crate) fn extend_anchors(
             report.counters.anchors_absorbed += 1;
             continue;
         }
+        // Chaos hook: per-pair extension is serial on every executor,
+        // so `extend.tile` occurrence indices line up across them.
+        obs.fault_gate(crate::faultsim::Hook::ExtendTile);
         let anchor_timer = buf.start();
         let Some(ext) = run_extension(params, target, query, anchor) else {
             continue;

@@ -13,6 +13,7 @@
 //!           [--filter-engine scalar|batched] [--checkpoint run.journal]
 //!           [--max-seed-hits N] [--max-filter-tiles N]
 //!           [--max-extension-cells N] [--deadline-ms N]
+//!           [--fault-plan plan.json] [--max-retries N] [--stall-timeout-ms N]
 //!     Align query to target with Darwin-WGA (or the LASTZ-like baseline
 //!     with --baseline); print a run summary and the top chains; write
 //!     MAF if requested. --threads parallelises the filter stage of each
@@ -32,6 +33,14 @@
 //!     resumes where it left off. The --max-*/--deadline-ms budgets
 //!     bound work per pair; a tripped budget degrades the run
 //!     (truncating the worst-scoring work first) instead of aborting it.
+//!     --fault-plan (or the WGA_FAULT_PLAN env var) loads a
+//!     deterministic fault-injection plan for chaos testing (see
+//!     DESIGN.md "Fault injection & supervision"). --max-retries sets
+//!     the supervised retry budget per fault site (default 1);
+//!     --stall-timeout-ms arms the dataflow stall watchdog (0, the
+//!     default, disables it). The MAF, metrics and trace artifacts are
+//!     written atomically (tmp + fsync + rename), so an interrupted run
+//!     never leaves a torn output file.
 //!
 //! wga exons <alignments.maf> <exons.tsv> [--coverage F]
 //!     Score exon recovery: which intervals from a `wga generate`
@@ -41,9 +50,13 @@
 use darwin_wga::chain::chainer::chain_alignments;
 use darwin_wga::chain::metrics;
 use darwin_wga::core::dataflow::{ExecutorKind, DEFAULT_QUEUE_DEPTH};
+use darwin_wga::core::durable;
+use darwin_wga::core::error::WgaError;
+use darwin_wga::core::faultsim::{FaultInjector, FaultPlan, Hook, PAIRLESS};
 use darwin_wga::core::genome_pipeline::{align_assemblies_observed, AlignOptions};
 use darwin_wga::core::obs::{Obs, ProgressMeter, SpanName, TraceRecorder, NO_PAIR, STRAND_NA};
 use darwin_wga::core::report::RunOutcome;
+use darwin_wga::core::supervise::{self, RetryPolicy};
 use darwin_wga::core::{config::WgaParams, maf};
 use darwin_wga::genome::assembly::Assembly;
 use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
@@ -85,6 +98,7 @@ usage:
             [--filter-engine scalar|batched] [--checkpoint run.journal]
             [--max-seed-hits N] [--max-filter-tiles N]
             [--max-extension-cells N] [--deadline-ms N]
+            [--fault-plan plan.json] [--max-retries N] [--stall-timeout-ms N]
   wga exons <alignments.maf> <exons.tsv> [--coverage F]
 ";
 
@@ -283,6 +297,10 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     let max_filter_tiles = take_opt(&mut args, "--max-filter-tiles")?;
     let max_extension_cells = take_opt(&mut args, "--max-extension-cells")?;
     let deadline_ms = take_opt(&mut args, "--deadline-ms")?;
+    let fault_plan_path =
+        take_opt(&mut args, "--fault-plan")?.or_else(|| std::env::var("WGA_FAULT_PLAN").ok());
+    let max_retries: u32 = parse_opt(&mut args, "--max-retries", 1)?;
+    let stall_timeout_ms: u64 = parse_opt(&mut args, "--stall-timeout-ms", 0)?;
     if args.len() != 2 {
         return Err(format!("align needs <target.fa> <query.fa>\n{USAGE}"));
     }
@@ -293,8 +311,46 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
         })
         .transpose()
     };
-    let target = read_assembly(&args[0])?;
-    let query = read_assembly(&args[1])?;
+
+    let fault_plan = fault_plan_path
+        .map(|p| FaultPlan::from_file(std::path::Path::new(&p)).map_err(|e| e.to_string()))
+        .transpose()?
+        .map(Arc::new);
+    // The executors build their own injector from `options.fault_plan`;
+    // this one serves the CLI-side hooks (FASTA reads and the
+    // metrics/trace sinks). Occurrence spaces are disjoint by hook, so
+    // the split never double-injects.
+    let cli_injector = fault_plan
+        .as_ref()
+        .map(|plan| FaultInjector::new((**plan).clone(), max_retries));
+    let retry_policy = cli_injector.as_ref().map_or(
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        },
+        FaultInjector::policy,
+    );
+
+    let read_supervised = |path: &str| -> Result<Assembly, String> {
+        supervise::retry_io(
+            &retry_policy,
+            Hook::FastaRead.code() << 32,
+            |_| {
+                if let Some(inj) = cli_injector.as_ref() {
+                    inj.count_retry(PAIRLESS);
+                }
+            },
+            || {
+                if let Some(inj) = cli_injector.as_ref() {
+                    inj.gate_io(Hook::FastaRead, PAIRLESS, None)?;
+                }
+                read_assembly(path).map_err(WgaError::config)
+            },
+        )
+        .map_err(|e| e.to_string())
+    };
+    let target = read_supervised(&args[0])?;
+    let query = read_supervised(&args[1])?;
 
     let mut params = if baseline {
         WgaParams::lastz_baseline()
@@ -310,17 +366,20 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     params.budget.deadline = parse_u64("--deadline-ms", deadline_ms)?
         .map(std::time::Duration::from_millis);
     params.validate().map_err(|e| e.to_string())?;
-    // Open output files up front so an unwritable path fails before the
-    // run, not after hours of alignment.
-    let open_out = |path: &Option<String>| -> Result<Option<File>, String> {
-        path.as_ref()
-            .map(|p| File::create(p).map_err(|e| format!("{p}: {e}")))
-            .transpose()
+    // Stage each output's tmp sibling up front so an unwritable path
+    // fails before the run, not after hours of alignment; the final
+    // writes go through the atomic tmp+rename path in `durable`.
+    let check_out = |path: &Option<String>| -> Result<(), String> {
+        if let Some(p) = path {
+            durable::pre_open_check(std::path::Path::new(p)).map_err(|e| e.to_string())?;
+        }
+        Ok(())
     };
-    let mut metrics_file = open_out(&metrics_out)?;
-    let mut trace_file = open_out(&trace_out)?;
+    check_out(&metrics_out)?;
+    check_out(&trace_out)?;
+    check_out(&maf_path)?;
     let recorder: Option<Arc<TraceRecorder>> =
-        (trace_file.is_some() || progress).then(TraceRecorder::new).map(Arc::new);
+        (trace_out.is_some() || progress).then(TraceRecorder::new).map(Arc::new);
     let obs = match &recorder {
         Some(rec) => Obs::new(rec.as_ref()),
         None => Obs::off(),
@@ -337,6 +396,9 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
         checkpoint: checkpoint.map(std::path::PathBuf::from),
         executor,
         queue_depth,
+        max_retries,
+        stall_timeout_ms,
+        fault_plan: fault_plan.clone(),
     };
     eprintln!(
         "aligning {} ({} chromosomes, {} bp) vs {} ({} chromosomes, {} bp) with {}...",
@@ -373,9 +435,14 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     );
     if let Some(metrics) = &report.stage_metrics {
         println!("{}", metrics.summary());
-        if let (Some(file), Some(path)) = (metrics_file.as_mut(), metrics_out.as_ref()) {
-            file.write_all(format!("{}\n", metrics.to_json()).as_bytes())
-                .map_err(|e| format!("{path}: {e}"))?;
+        if let Some(path) = metrics_out.as_ref() {
+            write_sink(
+                path,
+                format!("{}\n", metrics.to_json()).as_bytes(),
+                Hook::MetricsSink,
+                cli_injector.as_ref(),
+                &retry_policy,
+            )?;
             println!("stage metrics written to {path}");
         }
     }
@@ -444,8 +511,9 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     chain_buf.flush();
 
     if let Some(path) = maf_path {
-        let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-        let mut out = BufWriter::new(file);
+        // Rendered fully in memory, then placed atomically: a crash
+        // mid-run can never leave a torn MAF at the destination.
+        let mut out: Vec<u8> = Vec::new();
         writeln!(out, "##maf version=1 scoring=darwin-wga").map_err(|e| format!("{path}: {e}"))?;
         for tchrom in target.chromosomes() {
             for qchrom in query.chromosomes() {
@@ -468,6 +536,8 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("{path}: {e}"))?;
             }
         }
+        durable::write_atomic(std::path::Path::new(&path), &out)
+            .map_err(|e| e.to_string())?;
         println!("MAF written to {path}");
     }
 
@@ -499,12 +569,36 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
             modeled.gactx_cycles,
         );
         buf.flush();
-        if let (Some(file), Some(path)) = (trace_file.as_mut(), trace_out.as_ref()) {
-            let mut w = BufWriter::new(file);
-            rec.write_trace(&mut w).map_err(|e| format!("{path}: {e}"))?;
-            w.flush().map_err(|e| format!("{path}: {e}"))?;
+        if let Some(path) = trace_out.as_ref() {
+            let mut buf: Vec<u8> = Vec::new();
+            rec.write_trace(&mut buf).map_err(|e| format!("{path}: {e}"))?;
+            write_sink(path, &buf, Hook::TraceSink, cli_injector.as_ref(), &retry_policy)?;
             println!("trace written to {path}");
         }
     }
     Ok(())
+}
+
+/// Writes one output artifact atomically under supervision: the write is
+/// retried with the run's backoff policy, and chaos runs inject
+/// `metrics.sink` / `trace.sink` faults through the gate inside
+/// [`durable::write_atomic_gated`].
+fn write_sink(
+    path: &str,
+    bytes: &[u8],
+    hook: Hook,
+    injector: Option<&FaultInjector>,
+    policy: &RetryPolicy,
+) -> Result<(), String> {
+    supervise::retry_io(
+        policy,
+        hook.code() << 32,
+        |_| {
+            if let Some(inj) = injector {
+                inj.count_retry(PAIRLESS);
+            }
+        },
+        || durable::write_atomic_gated(std::path::Path::new(path), bytes, injector.map(|inj| (inj, hook))),
+    )
+    .map_err(|e| e.to_string())
 }

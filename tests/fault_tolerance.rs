@@ -100,6 +100,7 @@ fn dataflow_kill_after_k_pairs_then_resume_is_equivalent() {
         checkpoint: Some(path.clone()),
         executor: ExecutorKind::Dataflow,
         queue_depth: 2,
+        ..AlignOptions::default()
     };
     let full = align_assemblies_with(&params, &target, &query, &opts).unwrap();
     assert_eq!(full.resumed_pairs, 0);
@@ -118,6 +119,49 @@ fn dataflow_kill_after_k_pairs_then_resume_is_equivalent() {
     assert_eq!(resumed.resumed_pairs, 2);
     assert_eq!(resumed.canonical_text(), uninterrupted.canonical_text());
     assert_eq!(resumed.workload, uninterrupted.workload);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A single flipped byte inside an interior journal record (disk rot,
+/// not a torn tail) must fail that record's CRC, be skipped with a
+/// counted warning, and cause only the damaged pair to be re-run: the
+/// resumed report is still byte-identical to an uninterrupted run.
+#[test]
+fn byte_flip_in_journal_interior_rerunds_only_that_pair() {
+    let (target, query) = two_chrom_assemblies();
+    let params = WgaParams::darwin_wga();
+    let uninterrupted =
+        align_assemblies_with(&params, &target, &query, &AlignOptions::default()).unwrap();
+
+    let path = journal_path("byte-flip");
+    let opts = AlignOptions {
+        threads: 2,
+        checkpoint: Some(path.clone()),
+        ..AlignOptions::default()
+    };
+    align_assemblies_with(&params, &target, &query, &opts).unwrap();
+
+    // Flip one byte in the second pair record (an interior line, so this
+    // is corruption, not a crash-torn tail). The payload stays valid
+    // JSON; only the CRC can catch it.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 pair records");
+    let flipped = lines[2].replacen("\"target_chrom\":\"chr", "\"target_chrom\":\"Chr", 1);
+    assert_ne!(flipped, lines[2], "mutation must change the record");
+    let corrupted = format!(
+        "{}\n{}\n{}\n{}\n{}\n",
+        lines[0], lines[1], flipped, lines[3], lines[4]
+    );
+    std::fs::write(&path, corrupted).unwrap();
+
+    let resumed = align_assemblies_with(&params, &target, &query, &opts).unwrap();
+    assert_eq!(resumed.resumed_pairs, 3, "only the damaged pair re-runs");
+    assert_eq!(resumed.canonical_text(), uninterrupted.canonical_text());
+    let stats = resumed.journal_stats.expect("checkpointed run records stats");
+    assert_eq!(stats.records_recovered, 3);
+    assert_eq!(stats.corrupt_records_skipped, 1);
+    assert!(!stats.torn_tail_dropped);
     let _ = std::fs::remove_file(&path);
 }
 
