@@ -8,7 +8,9 @@
 //!   (LASTZ's X-drop ungapped extension) and [`banded`] (Darwin-WGA's
 //!   banded Smith-Waterman, "BSW") — plus [`bsw_fast`], the batched
 //!   wavefront BSW engine that mirrors the systolic array's
-//!   anti-diagonal dataflow and is bit-identical to [`banded`];
+//!   anti-diagonal dataflow and is bit-identical to [`banded`], and
+//!   [`bsw_simd`], the explicit 16-lane `i16` SIMD transcription of the
+//!   same wavefront (bit-identical again, with an exact `i32` fallback);
 //! * the *extension* algorithms — [`xdrop`] (the per-tile X-drop kernel),
 //!   [`gactx`] (GACT-X tiled extension, the paper's contribution),
 //!   [`gact`] (the prior Darwin algorithm Fig. 10 compares against) and
@@ -38,6 +40,7 @@
 pub mod alignment;
 pub mod banded;
 pub mod bsw_fast;
+pub mod bsw_simd;
 pub mod cigar;
 pub mod gact;
 pub mod gactx;

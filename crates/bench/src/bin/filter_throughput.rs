@@ -1,20 +1,25 @@
-//! Filter-engine throughput: scalar BSW vs the batched wavefront engine.
+//! Filter-engine throughput: scalar BSW vs the batched wavefront engine
+//! vs the explicit-SIMD wavefront engine.
 //!
 //! Streams a fixed ladder of filter tiles along the main diagonal of a
 //! synthetic genome pair at several phylogenetic distances and times the
-//! two BSW implementations on the identical tile set:
+//! three BSW implementations on the identical tile set:
 //!
 //! * **scalar** — [`align::banded::banded_smith_waterman`] per tile
 //!   (row-major, allocates its DP rows per call);
 //! * **batched** — [`align::bsw_fast::BswBatch`]: pair encoded once,
 //!   anti-diagonal wavefront DP over one reused scratch (the encode time
-//!   is charged to the batched wall clock).
+//!   is charged to the batched wall clock);
+//! * **simd** — [`align::bsw_simd::BswSimdBatch`]: the same wavefront
+//!   walk with explicit `i16` SIMD lanes (SSE2/AVX2) and an exact `i32`
+//!   fallback, encode time likewise charged.
 //!
 //! Every tile's outcome is cross-checked between engines while timing, so
 //! the bench doubles as a differential smoke test. Results go to stdout
 //! and to a machine-readable `BENCH_filter.json` (integer-only JSON:
 //! cells/sec, tiles/sec, wall µs per distance, plus `speedup_centi` =
-//! 100 × batched/scalar cells-per-second).
+//! 100 × batched/scalar and `simd_speedup_centi` = 100 × simd/batched
+//! cells-per-second).
 //!
 //! Run with: `cargo run --release -p wga-bench --bin filter_throughput`
 //! Optional flags: `--tiles N` (default 2000), `--tile-size N` (320),
@@ -23,6 +28,7 @@
 
 use align::banded::{banded_smith_waterman, tile_around};
 use align::bsw_fast::{BswBatch, WavefrontScratch};
+use align::bsw_simd::{BswSimdBatch, SimdScratch};
 use genome::evolve::{EvolutionParams, SyntheticPair};
 use genome::{GapPenalties, Sequence, SubstitutionMatrix};
 use rand::rngs::StdRng;
@@ -112,8 +118,16 @@ fn main() {
         "filter_throughput: {tiles} tiles of {tile_size} bp, band {band}, threshold {threshold}"
     );
     println!(
-        "{:<14} | {:>12} {:>12} | {:>12} {:>12} | {:>8}",
-        "distance", "scalar c/s", "tiles/s", "batched c/s", "tiles/s", "speedup"
+        "{:<14} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12} | {:>8} {:>8}",
+        "distance",
+        "scalar c/s",
+        "tiles/s",
+        "batched c/s",
+        "tiles/s",
+        "simd c/s",
+        "tiles/s",
+        "batch-up",
+        "simd-up"
     );
 
     let mut results = Vec::new();
@@ -136,6 +150,7 @@ fn main() {
 
         let scalar = run_scalar(target, query, &hits, &w, &gaps, tile_size, band, threshold);
         let batched = run_batched(target, query, &hits, &w, &gaps, tile_size, band, threshold);
+        let simd = run_simd(target, query, &hits, &w, &gaps, tile_size, band, threshold);
         assert_eq!(
             scalar.cells, batched.cells,
             "engines disagree on DP cell count"
@@ -144,28 +159,46 @@ fn main() {
             scalar.survived, batched.survived,
             "engines disagree on surviving tiles"
         );
+        assert_eq!(
+            scalar.cells, simd.cells,
+            "simd engine disagrees on DP cell count"
+        );
+        assert_eq!(
+            scalar.survived, simd.survived,
+            "simd engine disagrees on surviving tiles"
+        );
 
         let speedup_centi = if scalar.cells_per_sec() == 0 {
             0
         } else {
             batched.cells_per_sec() * 100 / scalar.cells_per_sec()
         };
+        let simd_speedup_centi = if batched.cells_per_sec() == 0 {
+            0
+        } else {
+            simd.cells_per_sec() * 100 / batched.cells_per_sec()
+        };
         println!(
-            "{:<14} | {:>12} {:>12} | {:>12} {:>12} | {:>7}.{:02}x",
+            "{:<14} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12} | {:>7}.{:02}x {:>7}.{:02}x",
             format!("{:.3}", milli as f64 / 1000.0),
             scalar.cells_per_sec(),
             scalar.tiles_per_sec(tiles as u64),
             batched.cells_per_sec(),
             batched.tiles_per_sec(tiles as u64),
+            simd.cells_per_sec(),
+            simd.tiles_per_sec(tiles as u64),
             speedup_centi / 100,
-            speedup_centi % 100
+            speedup_centi % 100,
+            simd_speedup_centi / 100,
+            simd_speedup_centi % 100
         );
         let mut entry = String::new();
         let _ = write!(
             entry,
-            "    {{\"distance_milli\": {milli}, \"tiles\": {tiles}, \"scalar\": {}, \"batched\": {}, \"speedup_centi\": {speedup_centi}}}",
+            "    {{\"distance_milli\": {milli}, \"tiles\": {tiles}, \"scalar\": {}, \"batched\": {}, \"simd\": {}, \"speedup_centi\": {speedup_centi}, \"simd_speedup_centi\": {simd_speedup_centi}}}",
             scalar.json(tiles as u64),
-            batched.json(tiles as u64)
+            batched.json(tiles as u64),
+            simd.json(tiles as u64)
         );
         results.push(entry);
     }
@@ -209,6 +242,46 @@ fn run_scalar(
     for &pos in hits {
         let (tr, qr) = tile_around(pos, pos, tile_size, target.len(), query.len());
         let out = banded_smith_waterman(&target.as_slice()[tr], &query.as_slice()[qr], w, gaps, band);
+        cells += out.cells;
+        survived += (out.max_score >= threshold) as u64;
+    }
+    EngineRun {
+        cells,
+        wall_us: start.elapsed().as_micros() as u64,
+        survived,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_simd(
+    target: &Sequence,
+    query: &Sequence,
+    hits: &[usize],
+    w: &SubstitutionMatrix,
+    gaps: &GapPenalties,
+    tile_size: usize,
+    band: usize,
+    threshold: i64,
+) -> EngineRun {
+    let mut scratch = SimdScratch::new();
+    {
+        let warm = BswSimdBatch::new(target.as_slice(), query.as_slice(), w, gaps, band);
+        if warm.lanes() == 0 {
+            eprintln!("note: SIMD kernel unavailable on this host; simd column runs the i32 fallback");
+        }
+        for &pos in &hits[..hits.len().min(64)] {
+            let (tr, qr) = tile_around(pos, pos, tile_size, target.len(), query.len());
+            std::hint::black_box(warm.run_tile(tr, qr, &mut scratch));
+        }
+    }
+    // As for batched: the once-per-pair encode is inside the timer.
+    let start = Instant::now();
+    let batch = BswSimdBatch::new(target.as_slice(), query.as_slice(), w, gaps, band);
+    let mut cells = 0u64;
+    let mut survived = 0u64;
+    for &pos in hits {
+        let (tr, qr) = tile_around(pos, pos, tile_size, target.len(), query.len());
+        let out = batch.run_tile(tr, qr, &mut scratch);
         cells += out.cells;
         survived += (out.max_score >= threshold) as u64;
     }

@@ -212,6 +212,22 @@ fn main() {
                     eprintln!("{}", metrics.summary());
                 }
             }
+            // Smoke check, not a perf gate: with intra-pair sharding the
+            // seeding stage must report the whole pool at wide widths —
+            // a silent fall-back to pair-granular dispatch shows up here
+            // even on a single-core runner.
+            if threads >= 8 {
+                for (name, report) in [("barrier", &b_report), ("dataflow", &d_report)] {
+                    if let Some(metrics) = &report.stage_metrics {
+                        assert!(
+                            metrics.seeding.workers > 1,
+                            "{name}: seeding reports {} worker(s) at {threads} threads — \
+                             intra-pair sharding is not engaging",
+                            metrics.seeding.workers
+                        );
+                    }
+                }
+            }
             if barrier.as_ref().is_none_or(|b| b_run.wall_us < b.wall_us) {
                 barrier = Some(b_run);
             }

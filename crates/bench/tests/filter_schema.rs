@@ -4,8 +4,8 @@
 //! this test) and checks the emitted JSON is well-formed and carries
 //! every field downstream tooling reads. Deliberately **no performance
 //! gating** — speedups vary with the host — beyond requiring non-zero
-//! throughput numbers; the binary itself asserts that scalar and batched
-//! agree on cell counts and surviving tiles.
+//! throughput numbers; the binary itself asserts that scalar, batched
+//! and simd agree on cell counts and surviving tiles.
 
 use wga_core::journal::json::{self, Json};
 
@@ -72,12 +72,17 @@ fn bench_filter_json_matches_schema() {
         assert_eq!(tiles, 16);
         check_engine(entry, "scalar", tiles);
         check_engine(entry, "batched", tiles);
-        // Both engines count the same DP cells on the same tile ladder.
+        check_engine(entry, "simd", tiles);
+        // All engines count the same DP cells on the same tile ladder.
         let sc = entry.get("scalar").unwrap();
         let ba = entry.get("batched").unwrap();
+        let si = entry.get("simd").unwrap();
         assert_eq!(int_field(sc, "cells"), int_field(ba, "cells"));
         assert_eq!(int_field(sc, "survived"), int_field(ba, "survived"));
+        assert_eq!(int_field(sc, "cells"), int_field(si, "cells"));
+        assert_eq!(int_field(sc, "survived"), int_field(si, "survived"));
         assert!(int_field(entry, "speedup_centi") >= 0);
+        assert!(int_field(entry, "simd_speedup_centi") >= 0);
     }
     assert_eq!(seen, vec![150, 400]);
 }

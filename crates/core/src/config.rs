@@ -117,8 +117,8 @@ impl FilterStage {
 /// Which BSW filter *implementation* executes the gapped filtering
 /// stage.
 ///
-/// Both engines compute the identical banded DP — same scores, same
-/// anchor coordinates, same cell counts (enforced by the
+/// Every engine computes the identical banded DP — same scores, same
+/// anchor coordinates, same cell counts (enforced by the three-way
 /// differential-oracle harness in `tests/bsw_differential.rs`) — so this
 /// is purely a performance choice. See [`crate::filter_engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -131,18 +131,24 @@ pub enum FilterEngineKind {
     /// per-tile allocation. The default.
     #[default]
     Batched,
+    /// Explicit-SIMD wavefront kernel ([`align::bsw_simd`]): saturating
+    /// `i16` lanes (8 per SSE2 vector, 16 per AVX2 vector) over the same
+    /// flat buffers, with a per-tile exact `i32` fallback. Falls back to
+    /// the batched kernel entirely on hosts without x86-64 SIMD.
+    Simd,
 }
 
 impl std::str::FromStr for FilterEngineKind {
     type Err = String;
 
-    /// Parses the CLI spelling: `scalar` or `batched`.
+    /// Parses the CLI spelling: `scalar`, `batched` or `simd`.
     fn from_str(s: &str) -> Result<FilterEngineKind, String> {
         match s {
             "scalar" => Ok(FilterEngineKind::Scalar),
             "batched" => Ok(FilterEngineKind::Batched),
+            "simd" => Ok(FilterEngineKind::Simd),
             other => Err(format!(
-                "unknown filter engine {other:?} (expected \"scalar\" or \"batched\")"
+                "unknown filter engine {other:?} (expected \"scalar\", \"batched\" or \"simd\")"
             )),
         }
     }
@@ -194,6 +200,18 @@ pub struct WgaParams {
     /// Per-run resource budgets (unbounded by default).
     #[serde(default)]
     pub budget: ResourceBudget,
+    /// Minimum intra-pair shard size in bases for the sharded seeding
+    /// and seed-table builds (see [`crate::shard`]). Purely a
+    /// performance knob: canonical output is byte-identical for every
+    /// shard size. D-SOFT shard cuts are rounded up to whole D-SOFT
+    /// chunks so diagonal-band counts never split across shards.
+    #[serde(default = "default_shard_bases")]
+    pub shard_bases: usize,
+}
+
+/// Serde default for [`WgaParams::shard_bases`].
+fn default_shard_bases() -> usize {
+    2048
 }
 
 impl WgaParams {
@@ -227,6 +245,7 @@ impl WgaParams {
             extension_threshold: 4000,
             both_strands: false,
             budget: ResourceBudget::default(),
+            shard_bases: default_shard_bases(),
         }
     }
 
@@ -275,6 +294,13 @@ impl WgaParams {
     /// Selects the BSW filter implementation, preserving everything else.
     pub fn with_filter_engine(mut self, engine: FilterEngineKind) -> WgaParams {
         self.filter_engine = engine;
+        self
+    }
+
+    /// Sets the minimum intra-pair shard size, preserving everything
+    /// else.
+    pub fn with_shard_bases(mut self, shard_bases: usize) -> WgaParams {
+        self.shard_bases = shard_bases;
         self
     }
 
@@ -363,6 +389,9 @@ impl WgaParams {
             return Err(WgaError::config(
                 "extension_threshold must be non-negative (alignments are scored locally)",
             ));
+        }
+        if self.shard_bases == 0 {
+            return Err(WgaError::config("shard_bases must be positive"));
         }
         Ok(())
     }
@@ -515,10 +544,26 @@ mod tests {
             "batched".parse::<FilterEngineKind>().unwrap(),
             FilterEngineKind::Batched
         );
-        assert!("simd".parse::<FilterEngineKind>().is_err());
+        assert_eq!(
+            "simd".parse::<FilterEngineKind>().unwrap(),
+            FilterEngineKind::Simd
+        );
+        assert!("avx".parse::<FilterEngineKind>().is_err());
         let p = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar);
         assert_eq!(p.filter_engine, FilterEngineKind::Scalar);
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_bases_defaults_positive_and_validates() {
+        let p = WgaParams::darwin_wga();
+        assert!(p.shard_bases > 0);
+        let p = p.with_shard_bases(4096);
+        assert_eq!(p.shard_bases, 4096);
+        p.validate().unwrap();
+        let mut bad = WgaParams::darwin_wga();
+        bad.shard_bases = 0;
+        assert_rejected(bad, "shard_bases");
     }
 
     #[test]

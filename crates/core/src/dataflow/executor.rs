@@ -65,12 +65,12 @@ use crate::genome_pipeline::{append_supervised, AlignOptions, AssemblyReport, Lo
 use crate::journal::{Journal, PairRecord};
 use crate::parallel::panic_message;
 use crate::report::{PairOutcome, RunEvent, RunOutcome, StageKind, Strand, WgaReport};
-use crate::stages::{extend_anchors, timed_seed_table};
+use crate::shard::{extend_anchors_sharded, sharded_dsoft, sharded_seed_table, ThreadGrant};
 use crate::supervise::{self, RetryPolicy};
 use genome::assembly::Assembly;
 use genome::Sequence;
 use parking_lot::Mutex;
-use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
+use seed::{Anchor, SeedHit, SeedTable};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -243,6 +243,9 @@ pub(crate) fn execute(
     let heartbeat = AtomicU64::new(0);
     let watchdog_stop = AtomicBool::new(false);
     let stalls = AtomicU64::new(0);
+    // Spare permits extension workers borrow so a lone big pair at the
+    // tail of a run fans its anchor extensions across idle capacity.
+    let thread_grant = ThreadGrant::new(threads.saturating_sub(1));
 
     let scope_out = crossbeam::thread::scope(|scope| {
         // --- Stall watchdog --------------------------------------------
@@ -282,6 +285,7 @@ pub(crate) fn execute(
                         table_build_ns,
                         heartbeat,
                         &retry_policy,
+                        threads,
                         obs,
                     )
                 }));
@@ -341,7 +345,7 @@ pub(crate) fn execute(
         for _ in 0..threads {
             let (extend_q, done_q) = (&extend_q, &done_q);
             let (ext_meter, ext_alive) = (&ext_meter, &ext_alive);
-            let heartbeat = &heartbeat;
+            let (heartbeat, thread_grant) = (&heartbeat, &thread_grant);
             scope.spawn(move |_| {
                 let _guard = PoolGuard {
                     alive: ext_alive,
@@ -371,9 +375,14 @@ pub(crate) fn execute(
                         }
                         Ok(()) => {
                             let busy = Instant::now();
+                            // Borrow idle capacity for this pair's anchor
+                            // extensions; released win or lose, so a
+                            // panicking pair never leaks permits.
+                            let extra = thread_grant.acquire(threads.saturating_sub(1));
                             let result = catch_unwind(AssertUnwindSafe(|| {
-                                extend_pair(params, job, pair_obs)
+                                extend_pair(params, job, 1 + extra, pair_obs)
                             }));
+                            thread_grant.release(extra);
                             ext_meter.add_busy(busy.elapsed());
                             result.map_err(|payload| panic_message(payload.as_ref()))
                         }
@@ -544,7 +553,10 @@ pub(crate) fn execute(
         executor: ExecutorKind::Dataflow,
         threads,
         queue_depth,
-        seeding: seed_meter.snapshot(1, 0),
+        // The producer thread drives seeding, but since intra-pair
+        // sharding the table build and D-SOFT walk fan out over the
+        // whole pool.
+        seeding: seed_meter.snapshot(threads, 0),
         filtering: filter_meter.snapshot(threads, filter_q.max_occupancy()),
         extension: ext_meter.snapshot(threads, extend_q.max_occupancy()),
         faults_injected,
@@ -572,6 +584,7 @@ fn produce<'a>(
     table_build_ns: &AtomicU64,
     heartbeat: &AtomicU64,
     retry_policy: &RetryPolicy,
+    threads: usize,
     obs: Obs<'_>,
 ) {
     let qn = qchroms.len();
@@ -590,8 +603,9 @@ fn produce<'a>(
                 let mut buf = obs.with_pair(pair_id as u64).buffer();
                 let table_timer = buf.start();
                 let busy = Instant::now();
-                match catch_unwind(AssertUnwindSafe(|| timed_seed_table(params, &tchrom.sequence)))
-                {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    sharded_seed_table(params, &tchrom.sequence, threads)
+                })) {
                     Ok((built, build_time)) => {
                         table = Some(built);
                         table_build_ns.fetch_add(build_time.as_nanos() as u64, Ordering::Relaxed);
@@ -632,6 +646,7 @@ fn produce<'a>(
                     &tchrom.sequence,
                     &qchrom.sequence,
                     seed_meter,
+                    threads,
                     obs.with_pair(pair_id as u64),
                 )
             }));
@@ -789,6 +804,7 @@ fn plan_pair<'a>(
     target: &'a Sequence,
     query: &'a Sequence,
     seed_meter: &StageMeter,
+    threads: usize,
     obs: Obs<'_>,
 ) -> Vec<PlannedLane<'a>> {
     let mut lanes = Vec::with_capacity(if params.both_strands { 2 } else { 1 });
@@ -800,6 +816,7 @@ fn plan_pair<'a>(
         Strand::Forward,
         0,
         seed_meter,
+        threads,
         obs,
     );
     let fwd_tiles = fwd.hits.len() as u64;
@@ -814,6 +831,7 @@ fn plan_pair<'a>(
             Strand::Reverse,
             fwd_tiles,
             seed_meter,
+            threads,
             obs,
         ));
     }
@@ -829,6 +847,7 @@ fn plan_lane<'a>(
     strand: Strand,
     tiles_planned: u64,
     seed_meter: &StageMeter,
+    threads: usize,
     obs: Obs<'_>,
 ) -> PlannedLane<'a> {
     let mut buf = obs.buffer();
@@ -840,7 +859,7 @@ fn plan_lane<'a>(
     obs.fault_gate(Hook::FilterBatch);
     let seed_timer = buf.start();
     let seed_start = Instant::now();
-    let seeding = dsoft_seeds(table, query.seq(), &params.dsoft);
+    let seeding = sharded_dsoft(table, query.seq(), &params.dsoft, params.shard_bases, threads);
     let seed_time = seed_start.elapsed();
     let clamp = clamp_hit_count(params, seeding.hits.len(), tiles_planned);
     let mut hits = seeding.hits;
@@ -981,9 +1000,16 @@ fn deposit<'a>(
 
 /// The extension stage of one pair: reassembles each lane's anchors in
 /// hit order from the deposited batches, replays the barrier executor's
-/// event/counter accounting, and runs the sequential anchor-absorption
-/// extension per lane.
-fn extend_pair(params: &WgaParams, mut job: PairJob<'_>, obs: Obs<'_>) -> WgaReport {
+/// event/counter accounting, and runs the anchor-absorption extension
+/// per lane — with `lane_threads - 1` speculative helpers when the
+/// worker borrowed spare permits (the commit order stays serial, so
+/// output is invariant to the grant).
+fn extend_pair(
+    params: &WgaParams,
+    mut job: PairJob<'_>,
+    lane_threads: usize,
+    obs: Obs<'_>,
+) -> WgaReport {
     let mut report = WgaReport::default();
     let target = job.target;
     for lane in &mut job.lanes {
@@ -1023,7 +1049,7 @@ fn extend_pair(params: &WgaParams, mut job: PairJob<'_>, obs: Obs<'_>) -> WgaRep
         }
         report.timings.filtering += filter_time;
         report.counters.anchors_passed += anchors.len() as u64;
-        extend_anchors(
+        extend_anchors_sharded(
             params,
             target,
             lane.query.seq(),
@@ -1032,6 +1058,7 @@ fn extend_pair(params: &WgaParams, mut job: PairJob<'_>, obs: Obs<'_>) -> WgaRep
             job.pair_start,
             &mut report,
             obs,
+            lane_threads,
         );
     }
     report

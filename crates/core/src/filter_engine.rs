@@ -1,7 +1,8 @@
-//! Pluggable BSW filter engines: scalar reference vs batched wavefront.
+//! Pluggable BSW filter engines: scalar reference, batched wavefront,
+//! and explicit SIMD.
 //!
 //! The filtering stage dominates pipeline runtime (§III-A), so it gets
-//! two interchangeable implementations behind the [`FilterEngine`]
+//! three interchangeable implementations behind the [`FilterEngine`]
 //! trait:
 //!
 //! * [`ScalarFilterEngine`] calls the row-major reference kernel
@@ -11,9 +12,15 @@
 //!   pair is byte-encoded **once** into a shared [`BswBatch`]
 //!   ([`FilterContext`]), and each worker reuses one
 //!   [`WavefrontScratch`] across its whole batch of tiles — the software
-//!   analogue of streaming tiles through the paper's systolic array.
+//!   analogue of streaming tiles through the paper's systolic array;
+//! * [`SimdFilterEngine`] drives [`align::bsw_simd`]: the same wavefront
+//!   with the inner loop as explicit saturating `i16` vector lanes
+//!   (8 per SSE2 vector, 16 per AVX2 vector), falling back per tile to
+//!   the exact `i32` kernel when a tile could overflow 16 bits, and
+//!   falling back entirely to the batched engine on hosts without
+//!   x86-64 SIMD.
 //!
-//! Both produce bit-identical [`FilterOutcome`]s (same scores, anchor
+//! All produce bit-identical [`FilterOutcome`]s (same scores, anchor
 //! coordinates and cell counts); `tests/bsw_differential.rs` enforces
 //! this over thousands of random and adversarial tiles. Selection is via
 //! [`WgaParams::filter_engine`] / the CLI's `--filter-engine` flag.
@@ -27,6 +34,7 @@ use crate::config::{FilterEngineKind, FilterStage, WgaParams};
 use crate::stages::{gapped_outcome, run_filter, FilterOutcome};
 use align::banded::tile_around;
 use align::bsw_fast::{BswBatch, WavefrontScratch};
+use align::bsw_simd::{BswSimdBatch, SimdScratch};
 use genome::Sequence;
 use seed::SeedHit;
 
@@ -100,50 +108,128 @@ impl FilterEngine for BatchedFilterEngine<'_> {
     }
 }
 
+/// Explicit-SIMD wavefront engine: tiles run against a shared
+/// pre-encoded [`BswSimdBatch`] with this engine's private reusable
+/// scratch; oversized tiles route to the exact `i32` kernel inside the
+/// batch.
+#[derive(Debug)]
+pub struct SimdFilterEngine<'c> {
+    batch: &'c BswSimdBatch,
+    scratch: SimdScratch,
+}
+
+impl FilterEngine for SimdFilterEngine<'_> {
+    fn filter_hit(
+        &mut self,
+        params: &WgaParams,
+        target: &Sequence,
+        query: &Sequence,
+        hit: SeedHit,
+    ) -> FilterOutcome {
+        match params.filter {
+            FilterStage::Gapped(f) => {
+                let (t_range, q_range) = tile_around(
+                    hit.target_pos,
+                    hit.query_pos,
+                    f.tile_size,
+                    target.len(),
+                    query.len(),
+                );
+                let (t0, q0) = (t_range.start, q_range.start);
+                let out = self.batch.run_tile(t_range, q_range, &mut self.scratch);
+                gapped_outcome(&f, t0, q0, out)
+            }
+            // The SIMD kernel only accelerates the gapped DP; an
+            // ungapped filter stage falls back to the reference path.
+            FilterStage::Ungapped(_) => run_filter(params, target, query, hit),
+        }
+    }
+}
+
+/// The shared state behind a [`FilterContext`]: which engine family the
+/// run selected, with its pre-encoded pair where one exists.
+#[derive(Debug, Default)]
+enum ContextState {
+    /// Scalar engine (or an ungapped stage): no shared state needed.
+    #[default]
+    Scalar,
+    Batched(BswBatch),
+    Simd(BswSimdBatch),
+}
+
 /// Shared per-(pair, strand) filter state, built once and handed
 /// read-only to every filter worker.
 ///
-/// Holds the byte-encoded chromosome pair when the batched engine is
-/// selected for a gapped filter stage (`None` otherwise — scalar
-/// filtering needs no shared state). `FilterContext` is `Sync`, so the
-/// parallel driver builds it outside the thread scope and each worker
-/// calls [`FilterContext::engine`] to get its own mutable engine.
+/// Holds the byte-encoded chromosome pair when the batched or SIMD
+/// engine is selected for a gapped filter stage (nothing otherwise —
+/// scalar filtering needs no shared state). `FilterContext` is `Sync`,
+/// so the parallel driver builds it outside the thread scope and each
+/// worker calls [`FilterContext::engine`] to get its own mutable engine.
 #[derive(Debug, Default)]
 pub struct FilterContext {
-    batch: Option<BswBatch>,
+    state: ContextState,
 }
 
 impl FilterContext {
     /// Prepares shared filter state for one chromosome pair and strand.
     ///
     /// Encoding is `O(|target| + |query|)` and happens only when
-    /// `params` select the batched engine on a gapped filter stage.
+    /// `params` select the batched or SIMD engine on a gapped filter
+    /// stage. A SIMD request on a host without x86-64 SIMD builds the
+    /// batched context instead (the documented runtime fallback — the
+    /// engines are bit-identical, so only throughput changes).
     pub fn new(params: &WgaParams, target: &Sequence, query: &Sequence) -> FilterContext {
-        let batch = match (params.filter_engine, params.filter) {
-            (FilterEngineKind::Batched, FilterStage::Gapped(f)) => Some(BswBatch::new(
-                target.as_slice(),
-                query.as_slice(),
-                &params.scoring,
-                &params.gaps,
-                f.band,
-            )),
-            _ => None,
+        let state = match (params.filter_engine, params.filter) {
+            (FilterEngineKind::Batched, FilterStage::Gapped(f)) => {
+                ContextState::Batched(BswBatch::new(
+                    target.as_slice(),
+                    query.as_slice(),
+                    &params.scoring,
+                    &params.gaps,
+                    f.band,
+                ))
+            }
+            (FilterEngineKind::Simd, FilterStage::Gapped(f)) => {
+                let batch = BswSimdBatch::new(
+                    target.as_slice(),
+                    query.as_slice(),
+                    &params.scoring,
+                    &params.gaps,
+                    f.band,
+                );
+                if batch.lanes() > 0 {
+                    ContextState::Simd(batch)
+                } else {
+                    ContextState::Batched(BswBatch::new(
+                        target.as_slice(),
+                        query.as_slice(),
+                        &params.scoring,
+                        &params.gaps,
+                        f.band,
+                    ))
+                }
+            }
+            _ => ContextState::Scalar,
         };
-        FilterContext { batch }
+        FilterContext { state }
     }
 
     /// Materialises a fresh engine for one worker's batch of hits.
     ///
-    /// Batched contexts yield a [`BatchedFilterEngine`] with its own
+    /// Batched and SIMD contexts yield their engine with its own
     /// scratch; scalar contexts yield the stateless
     /// [`ScalarFilterEngine`].
     pub fn engine(&self) -> Box<dyn FilterEngine + Send + '_> {
-        match &self.batch {
-            Some(batch) => Box::new(BatchedFilterEngine {
+        match &self.state {
+            ContextState::Batched(batch) => Box::new(BatchedFilterEngine {
                 batch,
                 scratch: WavefrontScratch::new(),
             }),
-            None => Box::new(ScalarFilterEngine),
+            ContextState::Simd(batch) => Box::new(SimdFilterEngine {
+                batch,
+                scratch: SimdScratch::new(),
+            }),
+            ContextState::Scalar => Box::new(ScalarFilterEngine),
         }
     }
 }
@@ -167,6 +253,7 @@ mod tests {
         for params in [
             WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar),
             WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Batched),
+            WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Simd),
         ] {
             let ctx = FilterContext::new(&params, &t, &q);
             let mut engine = ctx.engine();
@@ -184,24 +271,43 @@ mod tests {
         let (t, q) = pair();
         let params = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar);
         let ctx = FilterContext::new(&params, &t, &q);
-        assert!(ctx.batch.is_none());
+        assert!(matches!(ctx.state, ContextState::Scalar));
         let params = WgaParams::lastz_baseline();
         let ctx = FilterContext::new(&params, &t, &q);
-        assert!(ctx.batch.is_none(), "ungapped stage never builds a batch");
+        assert!(
+            matches!(ctx.state, ContextState::Scalar),
+            "ungapped stage never builds a batch"
+        );
+    }
+
+    #[test]
+    fn simd_params_build_simd_or_batched_context() {
+        let (t, q) = pair();
+        let params = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Simd);
+        let ctx = FilterContext::new(&params, &t, &q);
+        // On x86-64 the SIMD batch must materialise; elsewhere the
+        // documented fallback is the batched engine.
+        if cfg!(target_arch = "x86_64") {
+            assert!(matches!(ctx.state, ContextState::Simd(_)));
+        } else {
+            assert!(matches!(ctx.state, ContextState::Batched(_)));
+        }
     }
 
     #[test]
     fn batched_engine_handles_ungapped_fallback() {
         let (t, q) = pair();
-        // Batched engine requested but the stage is ungapped: behaviour
-        // must match the reference path exactly.
-        let params = WgaParams::lastz_baseline().with_filter_engine(FilterEngineKind::Batched);
-        let ctx = FilterContext::new(&params, &t, &q);
-        let mut engine = ctx.engine();
-        let hit = SeedHit::new(500, 497);
-        assert_eq!(
-            engine.filter_hit(&params, &t, &q, hit),
-            run_filter(&params, &t, &q, hit)
-        );
+        // Batched/SIMD engine requested but the stage is ungapped:
+        // behaviour must match the reference path exactly.
+        for kind in [FilterEngineKind::Batched, FilterEngineKind::Simd] {
+            let params = WgaParams::lastz_baseline().with_filter_engine(kind);
+            let ctx = FilterContext::new(&params, &t, &q);
+            let mut engine = ctx.engine();
+            let hit = SeedHit::new(500, 497);
+            assert_eq!(
+                engine.filter_hit(&params, &t, &q, hit),
+                run_filter(&params, &t, &q, hit)
+            );
+        }
     }
 }

@@ -31,7 +31,6 @@ use crate::obs::{Counter, Obs, SpanName, STRAND_NA};
 use crate::report::{
     FunnelCounters, PairOutcome, RunOutcome, StageTimings, Strand, WgaAlignment, WgaReport,
 };
-use crate::stages::timed_seed_table;
 use crate::supervise::{self, RetryPolicy};
 use genome::assembly::Assembly;
 use genome::Sequence;
@@ -349,8 +348,9 @@ pub fn align_assemblies_observed(
             if table.is_none() && table_failed.is_none() {
                 let mut buf = pair_obs.buffer();
                 let table_timer = buf.start();
-                match catch_unwind(AssertUnwindSafe(|| timed_seed_table(params, &tchrom.sequence)))
-                {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    crate::shard::sharded_seed_table(params, &tchrom.sequence, options.threads)
+                })) {
                     Ok((built, build_time)) => {
                         table = Some(built);
                         out.timings.seeding += build_time;
@@ -506,14 +506,16 @@ pub(crate) fn append_supervised(
 /// timings, workload and funnel counters, so `--metrics-out` carries the
 /// same shape on every executor. Barrier stages run to completion one
 /// after another, so idle time and queue occupancy are zero by
-/// construction.
+/// construction. Since intra-pair sharding, every stage — seed-table
+/// build, D-SOFT binning, filtering and (speculative) extension — fans
+/// out over the whole pool, so each stage reports `threads` workers.
 fn barrier_metrics(out: &AssemblyReport, threads: usize) -> ExecutorMetrics {
     ExecutorMetrics {
         executor: ExecutorKind::Barrier,
         threads,
         queue_depth: 0,
         seeding: StageMetrics {
-            workers: 1,
+            workers: threads,
             items: out.counters.hits_filtered,
             cells: out.workload.seeds,
             busy_us: out.timings.seeding.as_micros() as u64,
@@ -529,7 +531,7 @@ fn barrier_metrics(out: &AssemblyReport, threads: usize) -> ExecutorMetrics {
             max_queue_occupancy: 0,
         },
         extension: StageMetrics {
-            workers: 1,
+            workers: threads,
             items: out.counters.anchors_passed,
             cells: out.workload.extension_cells,
             busy_us: out.timings.extension.as_micros() as u64,

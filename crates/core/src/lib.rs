@@ -50,6 +50,7 @@ pub mod obs;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
+pub(crate) mod shard;
 pub mod stages;
 pub mod supervise;
 

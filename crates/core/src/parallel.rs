@@ -25,11 +25,12 @@ use crate::filter_engine::FilterContext;
 use crate::obs::{strand_code, Obs, SpanName};
 use crate::pipeline::WgaPipeline;
 use crate::report::{RunEvent, StageKind, Strand, WgaReport};
-use crate::stages::{extend_anchors, timed_seed_table};
+use crate::shard::{extend_anchors_sharded, sharded_dsoft, sharded_seed_table};
 use genome::Sequence;
 use parking_lot::Mutex;
-use seed::{dsoft_seeds, Anchor, SeedHit, SeedTable};
+use seed::{Anchor, SeedHit, SeedTable};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Runs the pipeline with the filter stage spread over `threads` workers.
@@ -70,7 +71,7 @@ pub fn run_parallel_observed(
 
     let mut buf = obs.buffer();
     let table_timer = buf.start();
-    let (table, build_time) = timed_seed_table(params, target);
+    let (table, build_time) = sharded_seed_table(params, target, threads);
     buf.finish(
         table_timer,
         SpanName::SeedTable,
@@ -153,10 +154,10 @@ fn run_strand_parallel(
     let scode = strand_code(strand);
     let mut buf = obs.buffer();
 
-    // --- Seeding (serial) -------------------------------------------------
+    // --- Seeding (sharded over query chunks) --------------------------------
     let seed_timer = buf.start();
     let seed_start = Instant::now();
-    let seeding = dsoft_seeds(table, query, &params.dsoft);
+    let seeding = sharded_dsoft(table, query, &params.dsoft, params.shard_bases, threads);
     report.timings.seeding += seed_start.elapsed();
     report.workload.seeds += seeding.seeds_queried;
     report.counters.raw_seed_hits += seeding.raw_hits;
@@ -185,8 +186,18 @@ fn run_strand_parallel(
     report.counters.anchors_passed += filtered.anchors.len() as u64;
     report.events.extend(filtered.events);
 
-    // --- Extension (serial: absorption is stateful) -------------------------
-    extend_anchors(params, target, query, strand, filtered.anchors, pair_start, report, obs);
+    // --- Extension (speculative workers, serial commit) ---------------------
+    extend_anchors_sharded(
+        params,
+        target,
+        query,
+        strand,
+        filtered.anchors,
+        pair_start,
+        report,
+        obs,
+        threads,
+    );
 }
 
 /// Outcome of the parallel filter dispatch.
@@ -218,6 +229,13 @@ enum BatchOutcome {
 /// per batch: a panicked batch is retried once serially, and a second
 /// panic drops only that batch's hits, recorded as a
 /// [`RunEvent::BatchFailed`].
+///
+/// Batches are self-scheduled: instead of one static chunk per thread
+/// (which lets the worker that drew the expensive tiles straggle the
+/// pool), hits split into ~4 batches per worker (at most 64 hits each)
+/// and workers claim the next batch off a shared cursor as they finish —
+/// batch boundaries stay deterministic, only the batch→worker mapping
+/// varies, and results are stitched back in batch order.
 #[allow(clippy::too_many_arguments)]
 fn filter_hits_parallel(
     params: &WgaParams,
@@ -229,9 +247,10 @@ fn filter_hits_parallel(
     scode: u8,
     obs: Obs<'_>,
 ) -> FilteredHits {
-    let chunk = hits.len().div_ceil(threads).max(1);
+    let chunk = hits.len().div_ceil(threads * 4).clamp(1, 64);
     let batches: Vec<&[SeedHit]> = hits.chunks(chunk).collect();
     let results: Mutex<Vec<(usize, BatchOutcome)>> = Mutex::new(Vec::with_capacity(batches.len()));
+    let cursor = AtomicUsize::new(0);
 
     // Shared filter state (the batched engine's encoded pair), built once
     // and read by every worker; each worker materialises its own engine
@@ -242,10 +261,16 @@ fn filter_hits_parallel(
     // worker died outside `catch_unwind` (e.g. its report push failed);
     // such batches simply never report and are retried below.
     let _ = crossbeam::thread::scope(|scope| {
-        for (idx, &batch) in batches.iter().enumerate() {
+        for _ in 0..threads.min(batches.len()) {
             let results = &results;
             let filter_ctx = &filter_ctx;
-            scope.spawn(move |_| {
+            let cursor = &cursor;
+            let batches = &batches;
+            scope.spawn(move |_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&batch) = batches.get(idx) else {
+                    break;
+                };
                 let outcome =
                     run_batch(params, target, query, batch, pair_start, filter_ctx, scode, idx, obs);
                 results.lock().push((idx, outcome));

@@ -1,0 +1,507 @@
+//! Intra-pair sharding: position-space decomposition of seeding and
+//! extension, so one large chromosome pair no longer serialises a
+//! thread pool.
+//!
+//! Before this module the unit of scheduled work was a whole chromosome
+//! pair: the seed table build and the D-SOFT walk ran on one thread and
+//! extension ran as a serial tail, so a single 120 kbp pair pinned one
+//! worker while the rest idled. Here every per-pair stage is split along
+//! its natural position axis into *shards* — independent work items a
+//! small self-scheduling pool claims off a shared cursor (smallest
+//! remaining work first, since claims follow ascending position order):
+//!
+//! * **seed-table build** shards over target positions
+//!   ([`seed::table::SeedTable::build_partial`], merged in shard order);
+//! * **D-SOFT binning** shards over query chunks
+//!   ([`seed::dsoft::dsoft_seeds_range`], cuts aligned to `chunk_size`
+//!   so every diagonal band stays inside one shard);
+//! * **extension** runs anchors as independent speculative work items up
+//!   to chain order: workers compute [`run_extension`] for anchors in a
+//!   lookahead window while the calling thread *commits* results in the
+//!   exact serial order ([`extend_anchors_from`]), replaying budget
+//!   checks, absorption, fault gates and report mutation byte for byte.
+//!
+//! # Determinism and fault containment
+//!
+//! Sharding never reaches canonical output: merges reproduce the serial
+//! result bit for bit (see the merge rules on the seed-crate
+//! primitives), and the extension commit loop *is* the serial loop —
+//! workers only pre-compute pure per-anchor extensions. A panic inside
+//! any shard worker is caught, mapped to the lowest-failing-shard
+//! message deterministically, and re-raised on the calling thread via
+//! [`resume_unwind`] — exactly where the serial code would have
+//! panicked — so pair-level supervision (retry, `Failed` escalation)
+//! composes unchanged with shard-level parallelism.
+
+use crate::config::WgaParams;
+use crate::obs::Obs;
+use crate::parallel::panic_message;
+use crate::report::{Strand, WgaReport};
+use crate::stages::{extend_anchors, extend_anchors_from, run_extension, timed_seed_table};
+use align::gactx::ExtendedAlignment;
+use genome::Sequence;
+use parking_lot::Mutex;
+use seed::dsoft::{dsoft_seeds, dsoft_seeds_range, merge_dsoft_results, DsoftParams, DsoftResult};
+use seed::{Anchor, SeedTable};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cuts `0..len` into contiguous shards for `threads` workers.
+///
+/// Targets ~4 shards per worker (self-scheduling slack so a slow shard
+/// does not straggle the pool) but never below `min_bases` per shard
+/// (tiny shards are all merge overhead), and rounds the shard size up to
+/// a multiple of `align` — D-SOFT requires chunk-aligned cuts.
+pub(crate) fn shard_ranges(
+    len: usize,
+    threads: usize,
+    min_bases: usize,
+    align: usize,
+) -> Vec<Range<usize>> {
+    let align = align.max(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    let raw = len.div_ceil(threads.max(1) * 4).max(min_bases.max(1));
+    let size = raw.div_ceil(align) * align;
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < len {
+        let end = start.saturating_add(size).min(len);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Runs `work(0..count)` across up to `threads` workers claiming shard
+/// indices off a shared cursor, returning results in index order.
+///
+/// Panics inside `work` are caught per shard; after the pool drains,
+/// the lowest-indexed failure is re-raised on the calling thread (claims
+/// follow the monotonic cursor, so a deterministic panic in shard *i*
+/// always reports shard *i*'s message regardless of interleaving).
+pub(crate) fn run_sharded<T, F>(count: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(work).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(count);
+    // Workers never unwind out of the closure (every `work` call is
+    // wrapped), so the scope result carries no panic of interest.
+    let _ = crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                while !stop.load(Ordering::Relaxed) {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= count {
+                        break;
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(idx)))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    if outcome.is_err() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    *slots[idx].lock() = Some(outcome);
+                }
+            });
+        }
+    });
+    let mut values = Vec::with_capacity(count);
+    for slot in slots {
+        match slot.into_inner() {
+            Some(Ok(value)) => values.push(value),
+            Some(Err(message)) => resume_unwind(Box::new(message)),
+            // Unclaimed shards are a suffix left behind by the stop
+            // flag; the failure that set it sits at a lower index and
+            // was re-raised above — reaching here means a worker died
+            // outside `catch_unwind`, which still must escalate.
+            None => resume_unwind(Box::new(
+                "sharded worker vanished before completing".to_string(),
+            )),
+        }
+    }
+    values
+}
+
+/// Sharded [`SeedTable`] build over target-position ranges; bit-identical
+/// to the serial build for any thread count.
+pub(crate) fn sharded_seed_table(
+    params: &WgaParams,
+    target: &Sequence,
+    threads: usize,
+) -> (SeedTable, Duration) {
+    if threads <= 1 {
+        return timed_seed_table(params, target);
+    }
+    let shards = shard_ranges(target.len(), threads, params.shard_bases, 1);
+    if shards.len() <= 1 {
+        return timed_seed_table(params, target);
+    }
+    let start = Instant::now();
+    let parts = run_sharded(shards.len(), threads, |i| {
+        SeedTable::build_partial(target, &params.seed_pattern, shards[i].clone())
+    });
+    let table = SeedTable::from_partials(&params.seed_pattern, parts, params.max_seed_occurrences);
+    (table, start.elapsed())
+}
+
+/// Sharded D-SOFT seeding over chunk-aligned query ranges; bit-identical
+/// to [`dsoft_seeds`] for any thread count (cuts land on `chunk_size`
+/// boundaries, so every diagonal band is confined to one shard).
+pub(crate) fn sharded_dsoft(
+    table: &SeedTable,
+    query: &Sequence,
+    dsoft: &DsoftParams,
+    shard_bases: usize,
+    threads: usize,
+) -> DsoftResult {
+    if threads <= 1 {
+        return dsoft_seeds(table, query, dsoft);
+    }
+    let shards = shard_ranges(query.len(), threads, shard_bases, dsoft.chunk_size);
+    if shards.len() <= 1 {
+        return dsoft_seeds(table, query, dsoft);
+    }
+    let parts = run_sharded(shards.len(), threads, |i| {
+        dsoft_seeds_range(table, query, dsoft, shards[i].clone())
+    });
+    merge_dsoft_results(parts)
+}
+
+/// A pool of spare worker permits shared across concurrent pair streams.
+///
+/// The dataflow executor sizes this at `threads`: each extension worker
+/// holds one implicit permit and borrows up to `max` spares while it
+/// runs a pair, so a lone big pair at the tail of a run can fan its
+/// anchor extensions across otherwise-idle workers (work-stealing-lite —
+/// output is invariant to how many permits a borrow wins).
+#[derive(Debug)]
+pub(crate) struct ThreadGrant {
+    spare: AtomicUsize,
+}
+
+impl ThreadGrant {
+    /// A pool holding `spare` loanable permits.
+    pub(crate) fn new(spare: usize) -> ThreadGrant {
+        ThreadGrant {
+            spare: AtomicUsize::new(spare),
+        }
+    }
+
+    /// Takes up to `max` permits from the pool, returning how many were
+    /// actually granted (possibly zero).
+    pub(crate) fn acquire(&self, max: usize) -> usize {
+        let mut granted = 0usize;
+        while granted < max {
+            let current = self.spare.load(Ordering::Relaxed);
+            if current == 0 {
+                break;
+            }
+            let take = current.min(max - granted);
+            if self
+                .spare
+                .compare_exchange(current, current - take, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                granted += take;
+            }
+        }
+        granted
+    }
+
+    /// Returns `n` permits to the pool.
+    pub(crate) fn release(&self, n: usize) {
+        self.spare.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Claim states for the speculative extension window.
+const CLAIM_FREE: u8 = 0;
+const CLAIM_TAKEN: u8 = 1;
+
+/// One speculated extension outcome: empty until a helper fills it with
+/// either the extension result or the message of a caught helper panic.
+type SpeculationSlot = Mutex<Option<Result<Option<ExtendedAlignment>, String>>>;
+
+/// [`extend_anchors`] with anchors speculatively extended by
+/// `threads - 1` helper workers while this thread commits results in
+/// serial order — byte-identical output at any thread count.
+///
+/// Anchors are pre-sorted with the commit loop's exact (stable)
+/// comparator so helper index *i* and commit index *i* name the same
+/// anchor. Helpers claim anchors from a bounded lookahead window past
+/// the commit frontier and run the pure [`run_extension`]; the commit
+/// loop ([`extend_anchors_from`]) performs every observable action —
+/// budget/deadline truncation, absorption, `extend.tile` fault gates,
+/// counters, report mutation — on the calling thread, in serial order.
+/// A helper panic is stored as its message and re-raised only if the
+/// commit loop actually reaches that anchor (an anchor absorbed or
+/// truncated before its turn never panics serially either).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn extend_anchors_sharded(
+    params: &WgaParams,
+    target: &Sequence,
+    query: &Sequence,
+    strand: Strand,
+    mut anchors: Vec<Anchor>,
+    pair_start: Instant,
+    report: &mut WgaReport,
+    obs: Obs<'_>,
+    threads: usize,
+) {
+    if threads <= 1 || anchors.len() < 2 {
+        return extend_anchors(params, target, query, strand, anchors, pair_start, report, obs);
+    }
+    anchors.sort_by_key(|a| std::cmp::Reverse(a.filter_score));
+    let count = anchors.len();
+    let claims: Vec<AtomicU8> = (0..count).map(|_| AtomicU8::new(CLAIM_FREE)).collect();
+    let slots: Vec<SpeculationSlot> = (0..count).map(|_| Mutex::new(None)).collect();
+    let committed = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let window = threads * 8;
+    let helpers = (threads - 1).min(count);
+
+    let anchors_ref = &anchors;
+    let claims_ref = &claims;
+    let slots_ref = &slots;
+    let committed_ref = &committed;
+    let stop_ref = &stop;
+
+    let commit_result = crossbeam::thread::scope(|scope| {
+        for _ in 0..helpers {
+            scope.spawn(move |_| {
+                while !stop_ref.load(Ordering::Relaxed) {
+                    let base = committed_ref.load(Ordering::Relaxed);
+                    if base >= count {
+                        break;
+                    }
+                    let mut claimed = None;
+                    let limit = (base.saturating_add(window)).min(count);
+                    for (idx, claim) in claims_ref.iter().enumerate().take(limit).skip(base) {
+                        if claim
+                            .compare_exchange(
+                                CLAIM_FREE,
+                                CLAIM_TAKEN,
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            claimed = Some(idx);
+                            break;
+                        }
+                    }
+                    match claimed {
+                        Some(idx) => {
+                            let anchor = anchors_ref[idx];
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                run_extension(params, target, query, anchor)
+                            }))
+                            .map_err(|payload| panic_message(payload.as_ref()));
+                            *slots_ref[idx].lock() = Some(outcome);
+                        }
+                        // Window exhausted: the commit frontier is the
+                        // bottleneck, wait for it to advance.
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+
+        // Commit thread: the serial loop verbatim, pulling speculated
+        // results where a helper got there first. Panics (fault-gate
+        // injections, re-raised helper failures) are caught so the stop
+        // flag is set before the scope joins the helpers, then re-raised
+        // outside the scope — the same escalation point as serial code.
+        let commit = catch_unwind(AssertUnwindSafe(|| {
+            extend_anchors_from(
+                params,
+                strand,
+                anchors_ref.clone(),
+                pair_start,
+                report,
+                obs,
+                &mut |seq, anchor| {
+                    committed_ref.store(seq, Ordering::Relaxed);
+                    if claims_ref[seq]
+                        .compare_exchange(
+                            CLAIM_FREE,
+                            CLAIM_TAKEN,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        // No helper reached it: compute inline, exactly
+                        // the serial driver's code path.
+                        run_extension(params, target, query, anchor)
+                    } else {
+                        loop {
+                            if let Some(result) = slots_ref[seq].lock().take() {
+                                match result {
+                                    Ok(ext) => break ext,
+                                    Err(message) => resume_unwind(Box::new(message)),
+                                }
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                },
+            )
+        }));
+        stop_ref.store(true, Ordering::Relaxed);
+        commit
+    });
+
+    match commit_result {
+        Ok(Ok(())) => {}
+        Ok(Err(payload)) => resume_unwind(payload),
+        // A helper died outside its catch_unwind — escalate like any
+        // other pair-level panic.
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WgaParams;
+    use crate::pipeline::WgaPipeline;
+    use genome::evolve::{EvolutionParams, SyntheticPair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shard_ranges_cover_and_align() {
+        for (len, threads, min, align) in
+            [(100_000, 8, 2048, 128), (5_000, 2, 2048, 1), (129, 8, 1, 64), (0, 4, 2048, 128)]
+        {
+            let ranges = shard_ranges(len, threads, min, align);
+            let mut expect = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, expect, "contiguous");
+                assert!(r.end > r.start, "non-empty");
+                if r.end != len {
+                    assert_eq!(r.end % align.max(1), 0, "aligned cut");
+                    assert!(r.end - r.start >= min.min(len), "respects floor");
+                }
+                expect = r.end;
+            }
+            assert_eq!(expect, len, "covers 0..len");
+        }
+    }
+
+    #[test]
+    fn run_sharded_matches_serial_map() {
+        let squares: Vec<usize> = run_sharded(37, 4, |i| i * i);
+        assert_eq!(squares, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        let empty: Vec<usize> = run_sharded(0, 4, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn run_sharded_reports_lowest_failing_shard() {
+        for _ in 0..16 {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                run_sharded(64, 4, |i| {
+                    if i == 7 || i == 40 {
+                        panic!("shard {i} poisoned");
+                    }
+                    i
+                })
+            }))
+            .expect_err("must escalate");
+            assert_eq!(panic_message(err.as_ref()), "shard 7 poisoned");
+        }
+    }
+
+    #[test]
+    fn sharded_seeding_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let pair = SyntheticPair::generate(30_000, &EvolutionParams::at_distance(0.2), &mut rng);
+        let mut params = WgaParams::darwin_wga();
+        params.shard_bases = 512; // force many shards
+        let (serial, _) = timed_seed_table(&params, &pair.target.sequence);
+        let (sharded, _) = sharded_seed_table(&params, &pair.target.sequence, 4);
+        assert_eq!(serial.positions_indexed(), sharded.positions_indexed());
+        assert_eq!(serial.distinct_words(), sharded.distinct_words());
+        assert_eq!(serial.dropped_repeats(), sharded.dropped_repeats());
+
+        let whole = dsoft_seeds(&serial, &pair.query.sequence, &params.dsoft);
+        let split = sharded_dsoft(&sharded, &pair.query.sequence, &params.dsoft, 512, 4);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn thread_grant_loans_and_returns() {
+        let grant = ThreadGrant::new(3);
+        assert_eq!(grant.acquire(2), 2);
+        assert_eq!(grant.acquire(5), 1);
+        assert_eq!(grant.acquire(1), 0);
+        grant.release(3);
+        assert_eq!(grant.acquire(4), 3);
+    }
+
+    #[test]
+    fn sharded_extension_matches_serial_pipeline() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let pair = SyntheticPair::generate(25_000, &EvolutionParams::at_distance(0.25), &mut rng);
+        let params = WgaParams::darwin_wga();
+        let serial =
+            WgaPipeline::new(params.clone()).run(&pair.target.sequence, &pair.query.sequence);
+
+        // Rebuild the anchor set the serial run extended, then commit it
+        // through the speculative path at several widths.
+        let (table, _) = timed_seed_table(&params, &pair.target.sequence);
+        let seeding = dsoft_seeds(&table, &pair.query.sequence, &params.dsoft);
+        let mut anchors = Vec::new();
+        for &hit in &seeding.hits {
+            if let Some(anchor) = crate::stages::run_filter(
+                &params,
+                &pair.target.sequence,
+                &pair.query.sequence,
+                hit,
+            )
+            .anchor
+            {
+                anchors.push(anchor);
+            }
+        }
+        for threads in [2usize, 4, 8] {
+            let mut report = WgaReport::default();
+            extend_anchors_sharded(
+                &params,
+                &pair.target.sequence,
+                &pair.query.sequence,
+                Strand::Forward,
+                anchors.clone(),
+                Instant::now(),
+                &mut report,
+                Obs::off(),
+                threads,
+            );
+            report
+                .alignments
+                .sort_by_key(|a| std::cmp::Reverse(a.alignment.score));
+            assert_eq!(
+                serial.alignments, report.alignments,
+                "speculative commit diverged at {threads} threads"
+            );
+            assert_eq!(serial.workload.extension_cells, report.workload.extension_cells);
+            assert_eq!(
+                serial.counters.anchors_absorbed,
+                report.counters.anchors_absorbed
+            );
+        }
+    }
+}

@@ -161,10 +161,41 @@ pub(crate) fn extend_anchors(
     target: &Sequence,
     query: &Sequence,
     strand: Strand,
+    anchors: Vec<Anchor>,
+    pair_start: Instant,
+    report: &mut WgaReport,
+    obs: Obs<'_>,
+) {
+    extend_anchors_from(
+        params,
+        strand,
+        anchors,
+        pair_start,
+        report,
+        obs,
+        &mut |_, anchor| run_extension(params, target, query, anchor),
+    );
+}
+
+/// The commit loop behind [`extend_anchors`], with the per-anchor
+/// extension supplied by `fetch(seq, anchor)` — `seq` is the anchor's
+/// index in descending-filter-score order.
+///
+/// The serial driver passes a closure that calls [`run_extension`]
+/// inline; [`crate::shard::extend_anchors_sharded`] passes one that
+/// collects results speculatively computed by worker threads. Everything
+/// observable — sort order, budget/deadline truncation, absorption,
+/// fault-gate firing order, counters, report mutation — lives here and
+/// runs on the calling thread, so both drivers are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn extend_anchors_from(
+    params: &WgaParams,
+    strand: Strand,
     mut anchors: Vec<Anchor>,
     pair_start: Instant,
     report: &mut WgaReport,
     obs: Obs<'_>,
+    fetch: &mut dyn FnMut(usize, Anchor) -> Option<ExtendedAlignment>,
 ) {
     let ext_start = Instant::now();
     obs.add(Counter::AnchorsPassed, anchors.len() as u64);
@@ -201,7 +232,7 @@ pub(crate) fn extend_anchors(
         // so `extend.tile` occurrence indices line up across them.
         obs.fault_gate(crate::faultsim::Hook::ExtendTile);
         let anchor_timer = buf.start();
-        let Some(ext) = run_extension(params, target, query, anchor) else {
+        let Some(ext) = fetch(seq, anchor) else {
             continue;
         };
         obs.extension_anchor(ext.stats.tiles, ext.stats.cells);

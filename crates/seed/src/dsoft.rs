@@ -13,6 +13,7 @@ use crate::table::SeedTable;
 use genome::Sequence;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 /// D-SOFT parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,6 +90,29 @@ pub struct DsoftResult {
 /// # Ok::<(), genome::ParseBaseError>(())
 /// ```
 pub fn dsoft_seeds(table: &SeedTable, query: &Sequence, params: &DsoftParams) -> DsoftResult {
+    dsoft_seeds_range(table, query, params, 0..query.len())
+}
+
+/// Runs D-SOFT seeding over one shard of query positions.
+///
+/// Identical to [`dsoft_seeds`] restricted to sampled query positions in
+/// `qrange` (the stride phase is global: the first sampled position is
+/// the smallest multiple of `query_stride` at or after `qrange.start`,
+/// exactly the positions the whole-query walk would visit there).
+///
+/// Sharding is *exact* — [`merge_dsoft_results`] over any partition of
+/// `0..query.len()` reproduces the whole-query [`DsoftResult`] byte for
+/// byte — **provided every cut is a multiple of `params.chunk_size`**.
+/// Chunk-aligned cuts keep each (chunk, bin) diagonal band confined to
+/// one shard, so per-shard band counts, threshold filtering and
+/// first-hit selection all match the global walk. A cut inside a chunk
+/// would split that chunk's bands across shards and double-count them.
+pub fn dsoft_seeds_range(
+    table: &SeedTable,
+    query: &Sequence,
+    params: &DsoftParams,
+    qrange: Range<usize>,
+) -> DsoftResult {
     params.validate();
     let pattern: &SeedPattern = table.pattern();
     let qslice = query.as_slice();
@@ -99,8 +123,13 @@ pub fn dsoft_seeds(table: &SeedTable, query: &Sequence, params: &DsoftParams) ->
     // that path deterministic by construction (wga-lint: determinism).
     let mut bands: BTreeMap<(u32, u32), (u32, SeedHit)> = BTreeMap::new();
 
-    let end = query.len().saturating_sub(pattern.span().saturating_sub(1));
-    let mut qpos = 0usize;
+    let end = query
+        .len()
+        .saturating_sub(pattern.span().saturating_sub(1))
+        .min(qrange.end);
+    // First multiple of the stride at or after the shard start — the
+    // same positions the whole-query walk samples inside this range.
+    let mut qpos = qrange.start.div_ceil(params.query_stride) * params.query_stride;
     while qpos < end {
         let words = if params.transitions {
             pattern.extract_with_transitions(qslice, qpos)
@@ -132,6 +161,27 @@ pub fn dsoft_seeds(table: &SeedTable, query: &Sequence, params: &DsoftParams) ->
     hits.dedup();
     result.hits = hits;
     result
+}
+
+/// Merges per-shard [`dsoft_seeds_range`] outputs back into the
+/// whole-query result.
+///
+/// Hits concatenate and re-sort into the same canonical order
+/// [`dsoft_seeds`] emits (each hit belongs to exactly one diagonal band,
+/// and chunk-aligned cuts keep every band inside one shard, so the
+/// concatenation has no duplicates and the counters sum exactly).
+/// Accepts the parts in any order — the sort canonicalises.
+pub fn merge_dsoft_results(parts: impl IntoIterator<Item = DsoftResult>) -> DsoftResult {
+    let mut merged = DsoftResult::default();
+    for part in parts {
+        merged.hits.extend(part.hits);
+        merged.seeds_queried += part.seeds_queried;
+        merged.raw_hits += part.raw_hits;
+        merged.bands_touched += part.bands_touched;
+    }
+    merged.hits.sort_unstable();
+    merged.hits.dedup();
+    merged
 }
 
 #[cfg(test)]
@@ -252,6 +302,54 @@ mod tests {
         );
         assert!(stride4.seeds_queried < stride1.seeds_queried);
         assert!(!stride4.hits.is_empty());
+    }
+
+    #[test]
+    fn chunk_aligned_shards_merge_to_whole_query_result() {
+        let unit = "ACGGTCAGTCGATTGCAGTCTTAGGCCATA";
+        let target: String = unit.repeat(40);
+        let (table, _) = setup(&target, 12);
+        let q: Sequence = unit.repeat(37).parse().unwrap();
+        for (chunk_size, stride, threshold) in [(64, 1, 1), (32, 3, 2), (128, 7, 1)] {
+            let params = DsoftParams {
+                chunk_size,
+                bin_size: 64,
+                threshold,
+                transitions: false,
+                query_stride: stride,
+            };
+            let whole = dsoft_seeds(&table, &q, &params);
+            assert!(!whole.hits.is_empty());
+            // Uneven chunk-aligned cuts, including an empty final shard.
+            let cuts = [
+                0,
+                chunk_size,
+                chunk_size * 4,
+                chunk_size * 5,
+                q.len().div_ceil(chunk_size) * chunk_size,
+            ];
+            let parts: Vec<DsoftResult> = cuts
+                .windows(2)
+                .map(|w| dsoft_seeds_range(&table, &q, &params, w[0]..w[1]))
+                .collect();
+            assert_eq!(
+                merge_dsoft_results(parts),
+                whole,
+                "c={chunk_size} stride={stride} h={threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_range_equals_whole_query() {
+        let shared = "ACGGTCAGTCGATTGCAGTC".repeat(8);
+        let (table, _) = setup(&shared, 12);
+        let q: Sequence = shared.parse().unwrap();
+        let params = DsoftParams::default();
+        assert_eq!(
+            dsoft_seeds_range(&table, &q, &params, 0..q.len()),
+            dsoft_seeds(&table, &q, &params)
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::pattern::SeedPattern;
 use genome::Sequence;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// An index of every seed word in the target genome.
 ///
@@ -66,6 +67,81 @@ impl SeedTable {
         }
     }
 
+    /// Indexes one shard of target positions (`range ∩ 0..indexable`).
+    ///
+    /// Sharded building is *exact*: indexing disjoint ascending ranges
+    /// covering `0..target.len()` and merging them with
+    /// [`SeedTable::from_partials`] reproduces [`SeedTable::build`]
+    /// bit for bit, for any cut points. Each position's seed window may
+    /// read past `range.end` into the next shard's bases — ownership of
+    /// a *position* is what partitions the work, not the bases it reads.
+    pub fn build_partial(
+        target: &Sequence,
+        pattern: &SeedPattern,
+        range: Range<usize>,
+    ) -> PartialSeedTable {
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let slice = target.as_slice();
+        let mut positions_indexed = 0u64;
+        let end = target
+            .len()
+            .saturating_sub(pattern.span().saturating_sub(1))
+            .min(range.end);
+        for pos in range.start..end {
+            if let Some(word) = pattern.extract(slice, pos) {
+                index.entry(word).or_default().push(pos as u32);
+                positions_indexed += 1;
+            }
+        }
+        PartialSeedTable {
+            index,
+            positions_indexed,
+        }
+    }
+
+    /// Merges per-shard partial tables into a whole-target [`SeedTable`].
+    ///
+    /// Parts must be passed in ascending shard order: each per-word
+    /// position list is already ascending within a part, so appending
+    /// parts in order keeps the merged lists ascending — identical to
+    /// the serial build's push order. The `max_occurrences` repeat cap
+    /// is applied **after** the merge, against whole-target counts, so
+    /// a repeat word split across shards is still dropped exactly as
+    /// the serial build drops it.
+    pub fn from_partials(
+        pattern: &SeedPattern,
+        parts: impl IntoIterator<Item = PartialSeedTable>,
+        max_occurrences: usize,
+    ) -> SeedTable {
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut positions_indexed = 0u64;
+        for part in parts {
+            positions_indexed += part.positions_indexed;
+            // lint: allow(determinism): word visit order is free — appends
+            // to different words are independent, and per-word appends
+            // happen in part order, so every merged list is ascending.
+            for (word, mut positions) in part.index {
+                index.entry(word).or_default().append(&mut positions);
+            }
+        }
+        let mut dropped_repeats = 0u64;
+        // lint: allow(determinism): per-entry predicate + commutative sum — visit order cannot change the surviving set or the count
+        index.retain(|_, positions| {
+            if positions.len() > max_occurrences {
+                dropped_repeats += positions.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        SeedTable {
+            index,
+            pattern: pattern.clone(),
+            positions_indexed,
+            dropped_repeats,
+        }
+    }
+
     /// Target positions whose window hashes to `word`.
     pub fn lookup(&self, word: u64) -> &[u32] {
         self.index.get(&word).map(Vec::as_slice).unwrap_or(&[])
@@ -89,6 +165,24 @@ impl SeedTable {
     /// Number of distinct words present.
     pub fn distinct_words(&self) -> usize {
         self.index.len()
+    }
+}
+
+/// One shard of a [`SeedTable`] under construction: the index over an
+/// ascending range of target positions, before the repeat cap.
+///
+/// Produced by [`SeedTable::build_partial`], consumed (in shard order)
+/// by [`SeedTable::from_partials`].
+#[derive(Debug)]
+pub struct PartialSeedTable {
+    index: HashMap<u64, Vec<u32>>,
+    positions_indexed: u64,
+}
+
+impl PartialSeedTable {
+    /// Number of positions this shard indexed.
+    pub fn positions_indexed(&self) -> u64 {
+        self.positions_indexed
     }
 }
 
@@ -131,6 +225,55 @@ mod tests {
         let t: Sequence = "ACGT".parse().unwrap();
         let table = SeedTable::build(&t, &SeedPattern::exact(4), usize::MAX);
         assert!(table.lookup(u64::MAX).is_empty());
+    }
+
+    fn assert_tables_equal(a: &SeedTable, b: &SeedTable, t: &Sequence, p: &SeedPattern) {
+        assert_eq!(a.positions_indexed(), b.positions_indexed());
+        assert_eq!(a.dropped_repeats(), b.dropped_repeats());
+        assert_eq!(a.distinct_words(), b.distinct_words());
+        for pos in 0..t.len() {
+            if let Some(word) = p.extract(t.as_slice(), pos) {
+                assert_eq!(a.lookup(word), b.lookup(word), "word at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_serial_at_any_cut() {
+        let t: Sequence = "ACGTACGTACGGTCAGTCGATTGCAGTCACGTACGT"
+            .repeat(6)
+            .parse()
+            .unwrap();
+        let p = SeedPattern::exact(8);
+        for max_occ in [usize::MAX, 4] {
+            let serial = SeedTable::build(&t, &p, max_occ);
+            // Deliberately unaligned cuts, an empty shard, a shard past
+            // the last indexable position.
+            for cuts in [vec![0, 50, 50, 131, t.len()], vec![0, 1, t.len() - 2, t.len()]] {
+                let parts: Vec<PartialSeedTable> = cuts
+                    .windows(2)
+                    .map(|w| SeedTable::build_partial(&t, &p, w[0]..w[1]))
+                    .collect();
+                let merged = SeedTable::from_partials(&p, parts, max_occ);
+                assert_tables_equal(&serial, &merged, &t, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_cap_applies_to_whole_target_counts() {
+        // Every shard is under the cap on its own; only the merged count
+        // crosses it — the cap must act on merged lists.
+        let t: Sequence = "AAAAAAAAAAAAAAAA".parse().unwrap();
+        let p = SeedPattern::exact(4);
+        let parts = [0..6, 6..t.len()]
+            .into_iter()
+            .map(|r| SeedTable::build_partial(&t, &p, r))
+            .collect::<Vec<_>>();
+        assert!(parts.iter().all(|part| part.positions_indexed() <= 7));
+        let merged = SeedTable::from_partials(&p, parts, 8);
+        assert_eq!(merged.distinct_words(), 0);
+        assert_eq!(merged.dropped_repeats(), 13);
     }
 
     #[test]

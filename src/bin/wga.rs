@@ -10,7 +10,8 @@
 //!           [--executor barrier|dataflow] [--queue-depth N]
 //!           [--metrics-out metrics.json] [--trace-out trace.jsonl]
 //!           [--progress]
-//!           [--filter-engine scalar|batched] [--checkpoint run.journal]
+//!           [--filter-engine scalar|batched|simd] [--shard-size N]
+//!           [--checkpoint run.journal]
 //!           [--max-seed-hits N] [--max-filter-tiles N]
 //!           [--max-extension-cells N] [--deadline-ms N]
 //!           [--fault-plan plan.json] [--max-retries N] [--stall-timeout-ms N]
@@ -28,7 +29,12 @@
 //!     stderr: pairs done, live cells/s, filter survival, ETA. Neither
 //!     flag changes results. --filter-engine picks the BSW
 //!     implementation for gapped filtering (default `batched`, the
-//!     wavefront engine; results are identical either way). --checkpoint
+//!     wavefront engine; `simd` runs it with explicit SSE2/AVX2 lanes,
+//!     falling back to `batched` where unsupported; results are
+//!     identical in every case). --shard-size sets the minimum bases per
+//!     intra-pair shard for seeding/filtering/extension work items
+//!     (default 2048; purely a scheduling knob, output is byte-identical
+//!     for any value). --checkpoint
 //!     makes completed pairs durable in a journal so an interrupted run
 //!     resumes where it left off. The --max-*/--deadline-ms budgets
 //!     bound work per pair; a tripped budget degrades the run
@@ -95,7 +101,8 @@ usage:
   wga align <target.fa> <query.fa> [--baseline] [--threads N] [--maf out.maf]
             [--executor barrier|dataflow] [--queue-depth N]
             [--metrics-out metrics.json] [--trace-out trace.jsonl] [--progress]
-            [--filter-engine scalar|batched] [--checkpoint run.journal]
+            [--filter-engine scalar|batched|simd] [--shard-size N]
+            [--checkpoint run.journal]
             [--max-seed-hits N] [--max-filter-tiles N]
             [--max-extension-cells N] [--deadline-ms N]
             [--fault-plan plan.json] [--max-retries N] [--stall-timeout-ms N]
@@ -292,6 +299,7 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     let progress = take_flag(&mut args, "--progress");
     let maf_path = take_opt(&mut args, "--maf")?;
     let filter_engine = take_opt(&mut args, "--filter-engine")?;
+    let shard_size = take_opt(&mut args, "--shard-size")?;
     let checkpoint = take_opt(&mut args, "--checkpoint")?;
     let max_seed_hits = take_opt(&mut args, "--max-seed-hits")?;
     let max_filter_tiles = take_opt(&mut args, "--max-filter-tiles")?;
@@ -359,6 +367,11 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     };
     if let Some(engine) = filter_engine {
         params.filter_engine = engine.parse()?;
+    }
+    if let Some(shard) = shard_size {
+        params.shard_bases = shard
+            .parse()
+            .map_err(|_| format!("invalid value for --shard-size: {shard}"))?;
     }
     params.budget.max_seed_hits = parse_u64("--max-seed-hits", max_seed_hits)?;
     params.budget.max_filter_tiles = parse_u64("--max-filter-tiles", max_filter_tiles)?;

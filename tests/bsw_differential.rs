@@ -1,18 +1,21 @@
-//! Differential-oracle harness: the batched wavefront BSW engine vs the
-//! scalar reference kernel.
+//! Differential-oracle harness: three filter engines against each other.
 //!
 //! `align::bsw_fast` re-derives the banded DP in anti-diagonal order over
-//! reused buffers; this harness proves the rewrite is *bit-identical* to
+//! reused buffers, and `align::bsw_simd` re-derives it again with explicit
+//! `i16` SIMD lanes (SSE2/AVX2) plus an exact `i32` fallback. This harness
+//! proves both rewrites are *bit-identical* to
 //! `align::banded::banded_smith_waterman` — same `max_score`, same argmax
 //! coordinates (including the scalar's row-major tie-break), same cell
 //! counts — over thousands of seeded-random tiles, adversarial
-//! constructions, and whole-pipeline runs, and that the two engines pass
-//! the exact same set of tiles at the paper's `H_f = 4000` threshold.
+//! constructions (including lane-boundary lengths and saturation-edge
+//! tiles), and whole-pipeline runs, and that all three engines pass the
+//! exact same set of tiles at the paper's `H_f = 4000` threshold.
 
 use darwin_wga::align::banded::{banded_smith_waterman, tile_around, BandedOutcome};
 use darwin_wga::align::bsw_fast::{
     banded_smith_waterman_wavefront, encode, bsw_wavefront, BswBatch, ScoreLut, WavefrontScratch,
 };
+use darwin_wga::align::bsw_simd::{banded_smith_waterman_simd, BswSimdBatch, SimdScratch};
 use darwin_wga::core::config::{FilterEngineKind, WgaParams};
 use darwin_wga::core::parallel::run_parallel;
 use darwin_wga::core::pipeline::WgaPipeline;
@@ -27,21 +30,36 @@ fn scoring() -> (SubstitutionMatrix, GapPenalties) {
     (SubstitutionMatrix::darwin_wga(), GapPenalties::darwin_wga())
 }
 
-/// Runs both kernels on one tile and asserts the full outcome matches.
+/// Reusable scratch for all three engines under comparison.
+struct Oracle {
+    wave: WavefrontScratch,
+    simd: SimdScratch,
+}
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle { wave: WavefrontScratch::new(), simd: SimdScratch::new() }
+    }
+}
+
+/// Runs all three kernels on one tile and asserts the full outcomes match.
 /// Returns the (shared) outcome so callers can build surviving sets.
-fn check_tile(
-    t: &[Base],
-    q: &[Base],
-    band: usize,
-    scratch: &mut WavefrontScratch,
-) -> BandedOutcome {
+fn check_tile(t: &[Base], q: &[Base], band: usize, scratch: &mut Oracle) -> BandedOutcome {
     let (w, g) = scoring();
     let scalar = banded_smith_waterman(t, q, &w, &g, band);
-    let fast = banded_smith_waterman_wavefront(t, q, &w, &g, band, scratch);
+    let fast = banded_smith_waterman_wavefront(t, q, &w, &g, band, &mut scratch.wave);
     assert_eq!(
         scalar,
         fast,
-        "engines disagree: band={band} n={} m={}",
+        "scalar vs batched disagree: band={band} n={} m={}",
+        t.len(),
+        q.len()
+    );
+    let simd = banded_smith_waterman_simd(t, q, &w, &g, band, &mut scratch.simd);
+    assert_eq!(
+        scalar,
+        simd,
+        "scalar vs simd disagree: band={band} n={} m={}",
         t.len(),
         q.len()
     );
@@ -82,7 +100,7 @@ fn mutate(rng: &mut StdRng, t: &[Base], sub_p: f64, indel_p: f64) -> Vec<Base> {
 
 #[test]
 fn thousand_seeded_random_tiles_are_identical() {
-    let mut scratch = WavefrontScratch::new();
+    let mut scratch = Oracle::new();
     let bands = [1usize, 2, 3, 8, 32, 64, 513];
     let mut tiles = 0u64;
     // Unrelated random sequences (noise tiles: the filter's common case).
@@ -133,7 +151,7 @@ fn thousand_seeded_random_tiles_are_identical() {
 fn adversarial_all_gap_tiles() {
     // Optimal paths forced through long gaps: the query is the target
     // with a large block deleted / the target with a block inserted.
-    let mut scratch = WavefrontScratch::new();
+    let mut scratch = Oracle::new();
     let mut rng = StdRng::seed_from_u64(77);
     for &(block, band) in &[(10usize, 32usize), (40, 32), (31, 32), (33, 32), (64, 80)] {
         let t = random_bases(&mut rng, 320, 0);
@@ -154,7 +172,7 @@ fn adversarial_homopolymer_ties() {
     // reaches the same maximum, so the argmax is decided purely by the
     // scalar's row-major first-improvement rule. Any tie-break slip in
     // the wavefront order shows up here.
-    let mut scratch = WavefrontScratch::new();
+    let mut scratch = Oracle::new();
     for (n, m) in [(60usize, 60usize), (60, 45), (45, 60), (320, 317), (1, 300)] {
         let t = vec![Base::A; n];
         let q = vec![Base::A; m];
@@ -176,7 +194,7 @@ fn adversarial_band_edge_optimum() {
     // query carries a `band`-base prefix insertion, so the best path
     // hugs the edge where out-of-band sentinel reads are adjacent.
     let mut rng = StdRng::seed_from_u64(88);
-    let mut scratch = WavefrontScratch::new();
+    let mut scratch = Oracle::new();
     for band in [1usize, 2, 8, 32] {
         let core = random_bases(&mut rng, 200, 0);
         for shift in [band.saturating_sub(1), band, band + 1] {
@@ -191,7 +209,7 @@ fn adversarial_band_edge_optimum() {
 
 #[test]
 fn degenerate_inputs_are_identical() {
-    let mut scratch = WavefrontScratch::new();
+    let mut scratch = Oracle::new();
     let (w, g) = scoring();
     for (t, q) in [
         (vec![], vec![]),
@@ -202,40 +220,99 @@ fn degenerate_inputs_are_identical() {
     ] {
         for band in [1usize, 7, 1000] {
             let scalar = banded_smith_waterman(&t, &q, &w, &g, band);
-            let fast = banded_smith_waterman_wavefront(&t, &q, &w, &g, band, &mut scratch);
+            let fast = banded_smith_waterman_wavefront(&t, &q, &w, &g, band, &mut scratch.wave);
             assert_eq!(scalar, fast);
+            let simd = banded_smith_waterman_simd(&t, &q, &w, &g, band, &mut scratch.simd);
+            assert_eq!(scalar, simd);
         }
     }
 }
 
 #[test]
+fn lane_boundary_adversaries_are_identical() {
+    // Tile dimensions chosen to straddle the SIMD lane widths (8 for
+    // SSE2, 16 for AVX2): lengths congruent to 0, 1, and lane-1 mod the
+    // lane width stress the ragged final vector and the epilogue masking.
+    let mut scratch = Oracle::new();
+    let mut rng = StdRng::seed_from_u64(50_505);
+    for lane in [8usize, 16] {
+        for mult in [1usize, 3, 20] {
+            for delta in [0usize, 1, lane - 1] {
+                let n = lane * mult + delta;
+                for m in [n, n.saturating_sub(1).max(1), n + 1, lane, lane + 1] {
+                    let t = random_bases(&mut rng, n, 10);
+                    let q = mutate(&mut rng, &t[..m.min(t.len())], 0.1, 0.05);
+                    let q = if q.is_empty() { vec![Base::A] } else { q };
+                    check_tile(&t, &q, 32, &mut scratch);
+                    check_tile(&q, &t, 32, &mut scratch);
+                }
+            }
+        }
+    }
+    // Saturation boundary: identical homopolymer-free sequences of length
+    // L score ~L*match, so lengths around i16::MAX / max_match straddle
+    // the `tile_uses_simd` cutoff — both the widest i16 tiles and the
+    // first i32-fallback tiles get exercised, and must agree either way.
+    let (w, _) = scoring();
+    let max_match = (0u8..4)
+        .flat_map(|a| (0u8..4).map(move |b| (a, b)))
+        .map(|(a, b)| w.score(Base::from_code(a), Base::from_code(b)))
+        .max()
+        .unwrap() as i64;
+    let cutoff = (i16::MAX as i64 / max_match.max(1)) as usize;
+    for len in [cutoff.saturating_sub(1), cutoff, cutoff + 1, cutoff + 17] {
+        let t = random_bases(&mut rng, len, 0);
+        check_tile(&t, &t, 32, &mut scratch);
+        let q = mutate(&mut rng, &t, 0.05, 0.02);
+        check_tile(&t, &q, 32, &mut scratch);
+    }
+    // All-N tiles: every substitution is the N penalty, a uniform
+    // negative plane where the empty alignment (score 0 at the origin)
+    // must win identically in every engine.
+    for (n, m) in [(7usize, 7usize), (8, 8), (9, 16), (15, 17), (33, 64), (129, 127)] {
+        let t = vec![Base::N; n];
+        let q = vec![Base::N; m];
+        check_tile(&t, &q, 32, &mut scratch);
+    }
+}
+
+#[test]
 fn surviving_tile_sets_are_identical() {
-    // The acceptance property the pipeline actually depends on: both
-    // engines pass exactly the same tiles at H_f = 4000.
+    // The acceptance property the pipeline actually depends on: all
+    // three engines pass exactly the same tiles at H_f = 4000.
     let (w, g) = scoring();
     let mut rng = StdRng::seed_from_u64(4242);
     let pair = SyntheticPair::generate(40_000, &EvolutionParams::at_distance(0.35), &mut rng);
     let (t, q) = (&pair.target.sequence, &pair.query.sequence);
     let batch = BswBatch::new(t.as_slice(), q.as_slice(), &w, &g, 32);
+    let simd_batch = BswSimdBatch::new(t.as_slice(), q.as_slice(), &w, &g, 32);
     let mut scratch = WavefrontScratch::new();
+    let mut simd_scratch = SimdScratch::new();
     let mut scalar_survivors = Vec::new();
     let mut batched_survivors = Vec::new();
+    let mut simd_survivors = Vec::new();
     let mut jitter = StdRng::seed_from_u64(4343);
     for k in 0..240usize {
         let tpos = 160 + k * 160;
         let qpos = tpos.saturating_sub(jitter.gen_range(0usize..48));
         let (tr, qr) = tile_around(tpos, qpos, 320, t.len(), q.len());
         let scalar = banded_smith_waterman(&t.as_slice()[tr.clone()], &q.as_slice()[qr.clone()], &w, &g, 32);
-        let fast = batch.run_tile(tr, qr, &mut scratch);
+        let fast = batch.run_tile(tr.clone(), qr.clone(), &mut scratch);
         assert_eq!(scalar, fast, "tile {k}");
+        let simd = simd_batch.run_tile(tr, qr, &mut simd_scratch);
+        assert_eq!(scalar, simd, "tile {k} (simd)");
         if scalar.max_score >= THRESHOLD {
             scalar_survivors.push(k);
         }
         if fast.max_score >= THRESHOLD {
             batched_survivors.push(k);
         }
+        if simd.max_score >= THRESHOLD {
+            simd_survivors.push(k);
+        }
     }
     assert_eq!(scalar_survivors, batched_survivors);
+    assert_eq!(scalar_survivors, simd_survivors);
     assert!(
         !scalar_survivors.is_empty(),
         "test needs some surviving tiles to be meaningful"
@@ -262,13 +339,18 @@ fn encoded_kernel_matches_base_wrapper() {
 
 #[test]
 fn whole_pipeline_identical_across_engines_and_threads() {
-    // End-to-end: scalar and batched engines, serial and parallel, all
-    // produce the identical report on the same pair.
+    // End-to-end: scalar, batched, and simd engines, serial and parallel
+    // at several widths, all produce the identical report on the same
+    // pair — including with intra-pair sharding forced on via a small
+    // shard size.
     let mut rng = StdRng::seed_from_u64(606);
     let pair = SyntheticPair::generate(30_000, &EvolutionParams::at_distance(0.3), &mut rng);
     let (t, q) = (&pair.target.sequence, &pair.query.sequence);
     let scalar_params = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Scalar);
     let batched_params = WgaParams::darwin_wga().with_filter_engine(FilterEngineKind::Batched);
+    let simd_params = WgaParams::darwin_wga()
+        .with_filter_engine(FilterEngineKind::Simd)
+        .with_shard_bases(512);
     let reference = WgaPipeline::new(scalar_params.clone()).run(t, q);
     assert!(
         !reference.alignments.is_empty(),
@@ -276,8 +358,12 @@ fn whole_pipeline_identical_across_engines_and_threads() {
     );
     for (name, report) in [
         ("batched serial", WgaPipeline::new(batched_params.clone()).run(t, q)),
+        ("simd serial", WgaPipeline::new(simd_params.clone()).run(t, q)),
         ("scalar 3 threads", run_parallel(&scalar_params, t, q, 3)),
         ("batched 3 threads", run_parallel(&batched_params, t, q, 3)),
+        ("simd 3 threads", run_parallel(&simd_params, t, q, 3)),
+        ("simd 8 threads", run_parallel(&simd_params, t, q, 8)),
+        ("batched 8 threads", run_parallel(&batched_params, t, q, 8)),
     ] {
         assert_eq!(reference.alignments, report.alignments, "{name}");
         assert_eq!(reference.workload, report.workload, "{name}");

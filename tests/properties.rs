@@ -1,11 +1,14 @@
 //! Cross-kernel property tests: BSW symmetry, BSW vs full Smith-Waterman,
-//! and CIGAR length round-trips.
+//! CIGAR length round-trips, and intra-pair shard algebra.
 //!
 //! These pin the algebraic invariants the pipeline silently relies on:
 //! the banded filter is symmetric under query/reference swap (the
 //! Darwin-WGA matrix is symmetric and gap penalties are strand-agnostic),
-//! a banded maximum can never beat the unbanded optimum, and every CIGAR
-//! a kernel emits consumes exactly the aligned spans it claims.
+//! a banded maximum can never beat the unbanded optimum, every CIGAR
+//! a kernel emits consumes exactly the aligned spans it claims, D-SOFT
+//! binning over chunk-aligned shards merges to exactly the whole-query
+//! result for *any* cut set, and shard scheduling never changes what the
+//! pipeline outputs.
 
 use darwin_wga::align::banded::banded_smith_waterman;
 use darwin_wga::align::bsw_fast::{banded_smith_waterman_wavefront, WavefrontScratch};
@@ -13,6 +16,11 @@ use darwin_wga::align::cigar::{AlignOp, Cigar};
 use darwin_wga::align::nw::needleman_wunsch;
 use darwin_wga::align::sw::smith_waterman;
 use darwin_wga::align::xdrop::xdrop_tile;
+use darwin_wga::core::config::WgaParams;
+use darwin_wga::core::parallel::run_parallel;
+use darwin_wga::core::pipeline::WgaPipeline;
+use darwin_wga::seed::dsoft::{dsoft_seeds, dsoft_seeds_range, merge_dsoft_results, DsoftParams, DsoftResult};
+use darwin_wga::seed::{SeedPattern, SeedTable};
 use darwin_wga::genome::{Base, GapPenalties, Sequence, SubstitutionMatrix};
 use proptest::prelude::*;
 
@@ -150,5 +158,96 @@ proptest! {
             rebuilt.push(op, 1);
         }
         prop_assert_eq!(rebuilt.runs(), cigar.runs());
+    }
+}
+
+/// A longer related pair for whole-pipeline properties: big enough that
+/// a 64-base shard floor yields many shards and most cases survive the
+/// filter, small enough that 24 pipeline runs stay fast.
+fn pipeline_pair() -> impl Strategy<Value = (Sequence, Sequence)> {
+    (dna_strategy(500, 1200), any::<u64>()).prop_map(|(s, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = Sequence::new();
+        for b in s.iter() {
+            match rng.gen_range(0..24) {
+                0 => {}
+                1 => {
+                    q.push(Base::from_code(rng.gen_range(0..4)));
+                    q.push(b);
+                }
+                2 => q.push(Base::from_code(rng.gen_range(0..4))),
+                _ => q.push(b),
+            }
+        }
+        (s, q)
+    })
+}
+
+proptest! {
+    // Pipeline-level properties run whole seed-filter-extend passes per
+    // case; fewer cases keep the suite inside its time budget.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dsoft_shard_merge_equals_whole_query(
+        (t, q) in pipeline_pair(),
+        boundary_bits in any::<u64>(),
+        chunk_pow in 4usize..8,
+        stride in 1usize..4,
+        threshold in 1u32..3,
+        cap_repeats in any::<bool>(),
+    ) {
+        // Concatenated per-shard D-SOFT bins equal whole-pair bins for
+        // *random* chunk-aligned shard cuts: every subset of chunk
+        // boundaries (from the 64 random bits) is a valid cut set, and
+        // the merged hits, counters, and first-hit selections must be
+        // indistinguishable from the unsharded walk.
+        let chunk = 1usize << chunk_pow;
+        let params = DsoftParams {
+            chunk_size: chunk,
+            bin_size: chunk,
+            threshold,
+            transitions: false,
+            query_stride: stride,
+        };
+        let max_occ = if cap_repeats { 4 } else { usize::MAX };
+        let table = SeedTable::build(&t, &SeedPattern::exact(8), max_occ);
+        let whole = dsoft_seeds(&table, &q, &params);
+        // Cut set: chunk boundary i is a cut iff bit i is set; the ends
+        // are always cuts. Adjacent cuts give empty shards — also legal.
+        let mut cuts = vec![0usize];
+        for i in 1..q.len().div_ceil(chunk) {
+            if boundary_bits >> (i % 64) & 1 == 1 {
+                cuts.push(i * chunk);
+            }
+        }
+        cuts.push(q.len());
+        let parts: Vec<DsoftResult> = cuts
+            .windows(2)
+            .map(|w| dsoft_seeds_range(&table, &q, &params, w[0]..w[1]))
+            .collect();
+        prop_assert_eq!(merge_dsoft_results(parts), whole,
+            "cuts={:?} chunk={} stride={}", cuts, chunk, stride);
+    }
+
+    #[test]
+    fn shard_scheduling_never_changes_pipeline_output(
+        (t, q) in pipeline_pair(),
+        threads in 2usize..9,
+        shard_pow in 6usize..11,
+    ) {
+        // Tile scheduling order is free: however the self-scheduled
+        // workers interleave shard claims (thread count and shard floor
+        // both randomised), the committed chain output — alignments,
+        // workload, counters — is exactly the serial pipeline's.
+        let serial = WgaParams::darwin_wga();
+        let sharded = serial.clone().with_shard_bases(1 << shard_pow);
+        let reference = WgaPipeline::new(serial).run(&t, &q);
+        let report = run_parallel(&sharded, &t, &q, threads);
+        prop_assert_eq!(&reference.alignments, &report.alignments);
+        prop_assert_eq!(&reference.workload, &report.workload);
+        prop_assert_eq!(&reference.counters, &report.counters);
     }
 }
