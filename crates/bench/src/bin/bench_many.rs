@@ -1,0 +1,216 @@
+//! Many-genome mode vs N² independent pairwise runs.
+//!
+//! Builds a deterministic set of `--genomes` synthetic genomes (pairs of
+//! cluster mates descended from shared ancestors, so every genome has at
+//! least one near neighbour) and times two ways of aligning the set:
+//!
+//! * **baseline** — what a user without `wga many` runs: one independent
+//!   pairwise invocation per *ordered* genome pair (each genome serves
+//!   as target once per partner), N×(N-1) full pipeline runs, each
+//!   rebuilding its own seed tables;
+//! * **many** — [`wga_core::pangenome::align_many`] with the shared
+//!   lazily-built index over the unordered pair matrix.
+//!
+//! The shared-index run is cross-checked against per-pair-index mode
+//! byte-for-byte while timing, so the bench doubles as a differential
+//! smoke test, and a `--knn 2` pass reports how many distant pairs
+//! sparsification skips. Results go to stdout and to an integer-only
+//! `BENCH_many.json`; the binary **asserts** `speedup_x100 >= 150` —
+//! the ≥1.5× end-to-end gate many-genome mode has to clear to exist.
+//!
+//! Each timing runs `--reps` times and keeps the minimum wall clock,
+//! the usual noise-robust estimator on shared hosts.
+//!
+//! Run with: `cargo run --release -p wga-bench --bin bench_many`
+//! Optional flags: `--genomes N` (default 6, must be ≥ 6 and even),
+//! `--length N` (bp per genome, default 4000), `--threads N`
+//! (default 1), `--reps N` (default 1), `--out PATH` (BENCH_many.json).
+
+use genome::assembly::Assembly;
+use genome::evolve::{EvolutionParams, SyntheticPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wga_core::config::WgaParams;
+use wga_core::genome_pipeline::{align_assemblies_with, AlignOptions};
+use wga_core::pangenome::{self, index::scaled_params, ManyOptions};
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn parse_opt<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str, default: T) -> T {
+    match take_opt(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// Cluster-structured genome set: genomes `2c` and `2c+1` descend from
+/// ancestor `c`, so within-cluster pairs are near homologs and
+/// cross-cluster pairs are unrelated background.
+fn genome_set(count: usize, length: usize) -> Vec<Assembly> {
+    let mut genomes = Vec::new();
+    for c in 0..count / 2 {
+        let mut rng = StdRng::seed_from_u64(7_000 + c as u64);
+        let pair =
+            SyntheticPair::generate(length, &EvolutionParams::at_distance(0.15), &mut rng);
+        for (side, seq) in [("t", &pair.target.sequence), ("q", &pair.query.sequence)] {
+            let mut g = Assembly::new(format!("c{c}{side}"));
+            g.push("chr", seq.clone());
+            genomes.push(g);
+        }
+    }
+    genomes
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let genomes_n: usize = parse_opt(&mut args, "--genomes", 6);
+    let length: usize = parse_opt(&mut args, "--length", 4_000);
+    let threads: usize = parse_opt(&mut args, "--threads", 1);
+    let reps: usize = parse_opt(&mut args, "--reps", 1);
+    let out = take_opt(&mut args, "--out").unwrap_or_else(|| "BENCH_many.json".into());
+    if genomes_n < 6 || genomes_n % 2 != 0 {
+        eprintln!("error: --genomes must be an even number >= 6");
+        std::process::exit(2);
+    }
+
+    let params = WgaParams::darwin_wga();
+    let genomes = genome_set(genomes_n, length);
+    let pairs_total = genomes_n * (genomes_n - 1) / 2;
+    eprintln!(
+        "bench_many: {genomes_n} genomes x {length} bp, {pairs_total} unordered pairs, \
+         {threads} thread(s), {reps} rep(s)"
+    );
+
+    // Baseline: every ordered pair as its own pairwise run, with the
+    // same scaled parameters many mode uses, so the two sides do the
+    // same per-pair work and the speedup measures orchestration +
+    // index sharing, not a parameter change.
+    let scaled = scaled_params(&params, genomes_n);
+    let baseline_options = AlignOptions {
+        threads,
+        ..AlignOptions::default()
+    };
+    let mut baseline_us = u64::MAX;
+    let mut baseline_matches = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut matches = 0u64;
+        for (i, target) in genomes.iter().enumerate() {
+            for (j, query) in genomes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let report = align_assemblies_with(&scaled, target, query, &baseline_options)
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: baseline {i} vs {j} failed: {e}");
+                        std::process::exit(1);
+                    });
+                matches += report.total_matches();
+            }
+        }
+        baseline_us = baseline_us.min(start.elapsed().as_micros() as u64);
+        baseline_matches = matches;
+    }
+
+    let many_options = ManyOptions {
+        threads,
+        ..ManyOptions::default()
+    };
+    let mut many_us = u64::MAX;
+    let mut many_report = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report =
+            pangenome::align_many(&params, &genomes, &many_options).unwrap_or_else(|e| {
+                eprintln!("error: many-genome run failed: {e}");
+                std::process::exit(1);
+            });
+        many_us = many_us.min(start.elapsed().as_micros() as u64);
+        many_report = Some(report);
+    }
+    let many_report = many_report.expect("reps >= 1");
+
+    // Differential smoke: shared-index vs per-pair-index byte-identity.
+    let per_pair = pangenome::align_many(
+        &params,
+        &genomes,
+        &ManyOptions {
+            shared_index: false,
+            ..many_options.clone()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: per-pair-index run failed: {e}");
+        std::process::exit(1);
+    });
+    assert_eq!(
+        many_report.canonical_text(),
+        per_pair.canonical_text(),
+        "shared-index and per-pair-index modes must be byte-identical"
+    );
+
+    // kNN sparsification: with 2-genome clusters, knn=2 keeps every
+    // cluster mate and prunes most of the unrelated background.
+    let knn_report = pangenome::align_many(
+        &params,
+        &genomes,
+        &ManyOptions {
+            knn: Some(2),
+            ..many_options
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: knn run failed: {e}");
+        std::process::exit(1);
+    });
+    let knn_scheduled = knn_report.pairs.iter().filter(|p| p.scheduled).count();
+    let knn_skipped = knn_report.pairs.len() - knn_scheduled;
+
+    let speedup_x100 = baseline_us.saturating_mul(100) / many_us.max(1);
+    println!("baseline (N(N-1) independent runs): {} us", baseline_us);
+    println!("many-genome (shared index):         {} us", many_us);
+    println!("speedup: {}.{:02}x", speedup_x100 / 100, speedup_x100 % 100);
+    println!(
+        "knn=2: {knn_scheduled}/{} pairs scheduled, {knn_skipped} skipped",
+        knn_report.pairs.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_many\",\n  \"genomes\": {genomes_n},\n  \
+         \"length\": {length},\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \
+         \"pairs_total\": {pairs_total},\n  \"baseline_runs\": {},\n  \
+         \"baseline_us\": {baseline_us},\n  \"baseline_matches\": {baseline_matches},\n  \
+         \"many_us\": {many_us},\n  \"many_alignments\": {},\n  \
+         \"many_tables_built\": {},\n  \"speedup_x100\": {speedup_x100},\n  \
+         \"knn2_scheduled\": {knn_scheduled},\n  \"knn2_skipped\": {knn_skipped}\n}}\n",
+        genomes_n * (genomes_n - 1),
+        many_report.alignments.len(),
+        many_report.tables_built,
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+
+    assert!(
+        speedup_x100 >= 150,
+        "many-genome mode must be >= 1.5x faster end-to-end than N(N-1) \
+         independent runs, measured {}.{:02}x",
+        speedup_x100 / 100,
+        speedup_x100 % 100
+    );
+}

@@ -1,0 +1,68 @@
+//! Schema validation for `bench_many`'s `BENCH_many.json`.
+//!
+//! Runs the bench binary on a tiny genome set (CI's many-genome smoke
+//! job executes this test) and checks the emitted JSON is well-formed,
+//! integer-only, and carries every field downstream tooling reads. The
+//! ≥1.5× speedup gate lives in the binary itself — it aborts when the
+//! shared-index run fails to beat the N(N-1) baseline — so this test
+//! passing implies the gate held on this host too.
+
+use wga_core::journal::json::{self, Json};
+
+fn int_field(obj: &Json, key: &str) -> i128 {
+    obj.get(key)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {obj:?}"))
+        .as_int()
+        .unwrap_or_else(|| panic!("field {key:?} is not an integer"))
+}
+
+#[test]
+fn bench_many_json_matches_schema() {
+    let out = std::env::temp_dir().join(format!("BENCH_many_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_bench_many"))
+        .args([
+            "--genomes",
+            "6",
+            "--length",
+            "2000",
+            "--reps",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .status()
+        .expect("bench binary runs");
+    assert!(status.success(), "bench_many exited with {status}");
+
+    let text = std::fs::read_to_string(&out).expect("bench wrote its JSON");
+    let _ = std::fs::remove_file(&out);
+    let doc = json::parse(&text).expect("BENCH_many.json is valid JSON");
+
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("bench_many"));
+    assert_eq!(int_field(&doc, "genomes"), 6);
+    assert_eq!(int_field(&doc, "length"), 2000);
+    assert_eq!(int_field(&doc, "pairs_total"), 15);
+    assert_eq!(int_field(&doc, "baseline_runs"), 30);
+
+    let baseline_us = int_field(&doc, "baseline_us");
+    let many_us = int_field(&doc, "many_us");
+    let speedup = int_field(&doc, "speedup_x100");
+    assert!(baseline_us > 0 && many_us > 0);
+    assert_eq!(speedup, baseline_us * 100 / many_us, "speedup is derived, not free-typed");
+    assert!(
+        speedup >= 150,
+        "binary asserts the 1.5x gate; a lower value here means the JSON lies"
+    );
+
+    assert!(int_field(&doc, "baseline_matches") > 0, "baseline found homology");
+    assert!(int_field(&doc, "many_alignments") > 0, "many mode found alignments");
+    let built = int_field(&doc, "many_tables_built");
+    assert!(
+        built > 0 && built <= 6,
+        "shared index builds at most one table per (single-chromosome) genome, got {built}"
+    );
+    let scheduled = int_field(&doc, "knn2_scheduled");
+    let skipped = int_field(&doc, "knn2_skipped");
+    assert_eq!(scheduled + skipped, 15);
+    assert!(skipped > 0, "knn=2 over three unrelated clusters must skip distant pairs");
+}

@@ -61,7 +61,9 @@ use crate::dataflow::queue::BoundedQueue;
 use crate::error::{WgaError, WgaResult};
 use crate::faultsim::{FaultInjector, Hook};
 use crate::filter_engine::FilterContext;
-use crate::genome_pipeline::{append_supervised, AlignOptions, AssemblyReport, LocatedAlignment};
+use crate::genome_pipeline::{
+    append_supervised, AlignOptions, AssemblyReport, LocatedAlignment, SeedTableFn,
+};
 use crate::journal::{Journal, PairRecord};
 use crate::parallel::panic_message;
 use crate::report::{PairOutcome, RunEvent, RunOutcome, StageKind, Strand, WgaReport};
@@ -187,6 +189,7 @@ pub(crate) fn execute(
     options: &AlignOptions,
     mut journal: Option<Journal>,
     obs: Obs<'_>,
+    tables: Option<&SeedTableFn<'_>>,
 ) -> WgaResult<AssemblyReport> {
     let threads = options.threads;
     let queue_depth = options.queue_depth;
@@ -287,6 +290,7 @@ pub(crate) fn execute(
                         &retry_policy,
                         threads,
                         obs,
+                        tables,
                     )
                 }));
                 // Whatever happened, release the filter pool.
@@ -562,14 +566,18 @@ pub(crate) fn execute(
         faults_injected,
         retries,
         stalls_detected,
+        spec_discard: out.counters.spec_discard,
     });
     Ok(out)
 }
 
-/// The seeding producer: walks pairs canonically, plans both strands of
-/// each non-resumed pair under panic isolation, registers the pair's
-/// cell and feeds tile batches into `filter_q` (blocking on
-/// backpressure).
+/// The seeding producer: dispatches pairs smallest-remaining-work-first
+/// (ties broken by pair id, so uniform matrices keep the old FIFO
+/// walk), plans both strands of each non-resumed pair under panic
+/// isolation, registers the pair's cell and feeds tile batches into
+/// `filter_q` (blocking on backpressure). Dispatch order never reaches
+/// canonical output: the collector assembles results in pair-id order,
+/// and fault occurrences are counted per `(hook, pair)`.
 #[allow(clippy::too_many_arguments)]
 fn produce<'a>(
     params: &WgaParams,
@@ -586,46 +594,86 @@ fn produce<'a>(
     retry_policy: &RetryPolicy,
     threads: usize,
     obs: Obs<'_>,
+    tables: Option<&SeedTableFn<'_>>,
 ) {
     let qn = qchroms.len();
     let injector = obs.fault();
-    for (ti, tchrom) in tchroms.iter().enumerate() {
-        // Built lazily so a fully-journaled target row skips the build.
-        let mut table: Option<SeedTable> = None;
-        let mut table_failed: Option<String> = None;
-        for (qi, qchrom) in qchroms.iter().enumerate() {
-            let pair_id = ti * qn + qi;
-            if resumed_flags[pair_id] {
-                continue;
-            }
 
-            if table.is_none() && table_failed.is_none() {
-                let mut buf = obs.with_pair(pair_id as u64).buffer();
-                let table_timer = buf.start();
+    // Smallest pairs drain first so the long tail of one big pair
+    // overlaps the rest of the matrix instead of serialising ahead of
+    // it (the work estimate is the bases on both sides — every pipeline
+    // stage scales with it).
+    let mut order: Vec<usize> = (0..tchroms.len() * qn)
+        .filter(|&pair_id| !resumed_flags[pair_id])
+        .collect();
+    order.sort_by_key(|&pair_id| {
+        let estimate =
+            tchroms[pair_id / qn].sequence.len() + qchroms[pair_id % qn].sequence.len();
+        (estimate, pair_id)
+    });
+
+    // A target row's seed table lives from the row's first dispatched
+    // pair to its last, then drops — built lazily (a fully-journaled
+    // row never builds), at most once per run.
+    let mut row_remaining: Vec<usize> = vec![0; tchroms.len()];
+    for &pair_id in &order {
+        row_remaining[pair_id / qn] += 1;
+    }
+    let mut row_tables: Vec<Option<Arc<SeedTable>>> = vec![None; tchroms.len()];
+    let mut row_failed: Vec<Option<String>> = vec![None; tchroms.len()];
+
+    for pair_id in order {
+        let ti = pair_id / qn;
+        let qi = pair_id % qn;
+        let tchrom = &tchroms[ti];
+        let qchrom = &qchroms[qi];
+        row_remaining[ti] -= 1;
+        let row_done = row_remaining[ti] == 0;
+
+        'pair: {
+            if row_tables[ti].is_none() && row_failed[ti].is_none() {
                 let busy = Instant::now();
-                match catch_unwind(AssertUnwindSafe(|| {
-                    sharded_seed_table(params, &tchrom.sequence, threads)
-                })) {
-                    Ok((built, build_time)) => {
-                        table = Some(built);
-                        table_build_ns.fetch_add(build_time.as_nanos() as u64, Ordering::Relaxed);
-                        seed_meter.add_busy(busy.elapsed());
-                        buf.finish(
-                            table_timer,
-                            SpanName::SeedTable,
-                            STRAND_NA,
-                            ti as u64,
-                            1,
-                            tchrom.sequence.len() as u64,
-                        );
+                if let Some(provider) = tables {
+                    // Shared-index mode: the provider owns build timing
+                    // and span accounting (a hit here may be a cache
+                    // lookup, not a build).
+                    match catch_unwind(AssertUnwindSafe(|| provider(ti))) {
+                        Ok(built) => {
+                            row_tables[ti] = Some(built);
+                            seed_meter.add_busy(busy.elapsed());
+                        }
+                        Err(payload) => {
+                            row_failed[ti] = Some(panic_message(payload.as_ref()));
+                        }
                     }
-                    Err(payload) => {
-                        table_failed = Some(panic_message(payload.as_ref()));
+                } else {
+                    let mut buf = obs.with_pair(pair_id as u64).buffer();
+                    let table_timer = buf.start();
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        sharded_seed_table(params, &tchrom.sequence, threads)
+                    })) {
+                        Ok((built, build_time)) => {
+                            row_tables[ti] = Some(Arc::new(built));
+                            table_build_ns
+                                .fetch_add(build_time.as_nanos() as u64, Ordering::Relaxed);
+                            seed_meter.add_busy(busy.elapsed());
+                            buf.finish(
+                                table_timer,
+                                SpanName::SeedTable,
+                                STRAND_NA,
+                                ti as u64,
+                                1,
+                                tchrom.sequence.len() as u64,
+                            );
+                        }
+                        Err(payload) => {
+                            row_failed[ti] = Some(panic_message(payload.as_ref()));
+                        }
                     }
                 }
             }
 
-            if let Some(message) = &table_failed {
+            if let Some(message) = &row_failed[ti] {
                 let done = PairDone {
                     pair_id,
                     result: Err(format!("seed table build panicked: {message}")),
@@ -633,9 +681,9 @@ fn produce<'a>(
                 if done_q.push(done).is_err() {
                     return;
                 }
-                continue;
+                break 'pair;
             }
-            let table = table.as_ref().expect("table built or failed above");
+            let table = row_tables[ti].as_ref().expect("table built or failed above");
 
             let pair_start = Instant::now();
             let busy = Instant::now();
@@ -662,7 +710,7 @@ fn produce<'a>(
                     if done_q.push(done).is_err() {
                         return;
                     }
-                    continue;
+                    break 'pair;
                 }
             };
 
@@ -712,10 +760,9 @@ fn produce<'a>(
                 if extend_q.push(job).is_err() {
                     return;
                 }
-                continue;
+                break 'pair;
             }
             *cells[pair_id].lock() = Some(job);
-            let mut cancelled = false;
             for task in tasks {
                 if let Err(error) = gate_queue(
                     injector,
@@ -735,7 +782,6 @@ fn produce<'a>(
                     if done_q.push(done).is_err() {
                         return;
                     }
-                    cancelled = true;
                     break;
                 }
                 let wait = Instant::now();
@@ -745,9 +791,13 @@ fn produce<'a>(
                 seed_meter.add_idle(wait.elapsed());
                 heartbeat.fetch_add(1, Ordering::Relaxed);
             }
-            if cancelled {
-                continue;
-            }
+        }
+
+        // Row finished: release its table before moving to the next
+        // dispatched pair, bounding live tables by the number of
+        // in-progress rows (one, since dispatch is sequential).
+        if row_done {
+            row_tables[ti] = None;
         }
     }
 }

@@ -100,6 +100,12 @@ pub struct ExecutorMetrics {
     /// Watchdog stall escalations over the whole run.
     #[serde(default)]
     pub stalls_detected: u64,
+    /// Speculative extensions computed by shard helpers and discarded
+    /// unconsumed (the anchor was absorbed or truncated before the
+    /// commit loop reached it). Thread-schedule dependent — telemetry
+    /// only, never canonical. Absent in pre-existing metrics JSON.
+    #[serde(default)]
+    pub spec_discard: u64,
 }
 
 /// Former name of [`ExecutorMetrics`], kept for source compatibility
@@ -118,7 +124,7 @@ impl ExecutorMetrics {
             )
         }
         format!(
-            "{{\"executor\":\"{}\",\"threads\":{},\"queue_depth\":{},\"seeding\":{},\"filtering\":{},\"extension\":{},\"faults_injected\":{},\"retries\":{},\"stalls_detected\":{}}}",
+            "{{\"executor\":\"{}\",\"threads\":{},\"queue_depth\":{},\"seeding\":{},\"filtering\":{},\"extension\":{},\"faults_injected\":{},\"retries\":{},\"stalls_detected\":{},\"spec_discard\":{}}}",
             self.executor.as_str(),
             self.threads,
             self.queue_depth,
@@ -127,7 +133,8 @@ impl ExecutorMetrics {
             stage(&self.extension),
             self.faults_injected,
             self.retries,
-            self.stalls_detected
+            self.stalls_detected,
+            self.spec_discard
         )
     }
 
@@ -154,8 +161,13 @@ impl ExecutorMetrics {
         } else {
             String::new()
         };
+        let spec = if self.spec_discard > 0 {
+            format!("\n  speculation spec_discard={}", self.spec_discard)
+        } else {
+            String::new()
+        };
         format!(
-            "stage metrics (executor={}, threads={}{queue}):\n{}\n{}\n{}{chaos}",
+            "stage metrics (executor={}, threads={}{queue}):\n{}\n{}\n{}{chaos}{spec}",
             self.executor.as_str(),
             self.threads,
             line("seeding", &self.seeding),
@@ -236,7 +248,7 @@ mod tests {
                 );
             }
         }
-        for field in ["faults_injected", "retries", "stalls_detected"] {
+        for field in ["faults_injected", "retries", "stalls_detected", "spec_discard"] {
             assert_eq!(
                 value.get(field).and_then(|v| v.as_int()),
                 Some(0),
@@ -263,6 +275,12 @@ mod tests {
         };
         assert!(chaotic.summary().contains("faults_injected=3"));
         assert!(chaotic.to_json().contains("\"faults_injected\":3"));
+        let speculative = ExecutorMetrics {
+            spec_discard: 7,
+            ..chaotic
+        };
+        assert!(speculative.summary().contains("spec_discard=7"));
+        assert!(speculative.to_json().contains("\"spec_discard\":7"));
     }
 
     #[test]
@@ -277,7 +295,7 @@ mod tests {
                    \"extension\":{\"workers\":2,\"items\":1,\"cells\":2,\"busy_us\":3,\"idle_us\":4,\"max_queue_occupancy\":5}}";
         let value = crate::journal::json::parse(old).unwrap();
         assert_eq!(value.get("threads").and_then(|v| v.as_int()), Some(2));
-        for field in ["faults_injected", "retries", "stalls_detected"] {
+        for field in ["faults_injected", "retries", "stalls_detected", "spec_discard"] {
             let n = value.get(field).and_then(|v| v.as_int()).unwrap_or(0);
             assert_eq!(n, 0, "{field} defaults to zero when absent");
         }

@@ -280,6 +280,28 @@ pub fn align_assemblies_observed(
     options: &AlignOptions,
     obs: Obs<'_>,
 ) -> WgaResult<AssemblyReport> {
+    align_assemblies_provided(params, target, query, options, obs, None)
+}
+
+/// Source of prebuilt seed tables for many-genome runs: maps a target
+/// chromosome index to its (possibly cached) table. The callback must
+/// return a table built with the *same* parameters as the run — the
+/// shared-index orchestrator guarantees this by building every table
+/// from one scaled parameter set. A panicking provider fails the
+/// affected pairs exactly like an in-run seed-table build panic.
+pub type SeedTableFn<'p> = dyn Fn(usize) -> Arc<SeedTable> + Sync + 'p;
+
+/// [`align_assemblies_observed`] with an optional external seed-table
+/// provider, so a many-genome orchestrator can share one index across
+/// the whole pair matrix instead of rebuilding per genome pair.
+pub(crate) fn align_assemblies_provided(
+    params: &WgaParams,
+    target: &Assembly,
+    query: &Assembly,
+    options: &AlignOptions,
+    obs: Obs<'_>,
+    tables: Option<&SeedTableFn<'_>>,
+) -> WgaResult<AssemblyReport> {
     params.validate()?;
     if options.threads == 0 {
         return Err(WgaError::config("threads must be at least 1"));
@@ -307,7 +329,8 @@ pub fn align_assemblies_observed(
     let journal_stats = journal.as_ref().map(Journal::stats);
 
     if options.executor == ExecutorKind::Dataflow {
-        let mut report = crate::dataflow::execute(params, target, query, options, journal, obs)?;
+        let mut report =
+            crate::dataflow::execute(params, target, query, options, journal, obs, tables)?;
         report.journal_stats = journal_stats;
         return Ok(report);
     }
@@ -317,7 +340,7 @@ pub fn align_assemblies_observed(
     let mut out = AssemblyReport::default();
     for (ti, tchrom) in target.chromosomes().iter().enumerate() {
         // Built lazily so a fully-journaled target row skips the build.
-        let mut table: Option<SeedTable> = None;
+        let mut table: Option<Arc<SeedTable>> = None;
         let mut table_failed: Option<String> = None;
         for (qi, qchrom) in query.chromosomes().iter().enumerate() {
             let pair_obs = obs.with_pair((ti * qn + qi) as u64);
@@ -346,25 +369,39 @@ pub fn align_assemblies_observed(
             }
 
             if table.is_none() && table_failed.is_none() {
-                let mut buf = pair_obs.buffer();
-                let table_timer = buf.start();
-                match catch_unwind(AssertUnwindSafe(|| {
-                    crate::shard::sharded_seed_table(params, &tchrom.sequence, options.threads)
-                })) {
-                    Ok((built, build_time)) => {
-                        table = Some(built);
-                        out.timings.seeding += build_time;
-                        buf.finish(
-                            table_timer,
-                            SpanName::SeedTable,
-                            STRAND_NA,
-                            ti as u64,
-                            1,
-                            tchrom.sequence.len() as u64,
-                        );
+                if let Some(provider) = tables {
+                    // Shared-index mode: the provider owns build timing
+                    // and span accounting (a hit here may be a cache
+                    // lookup, not a build).
+                    match catch_unwind(AssertUnwindSafe(|| provider(ti))) {
+                        Ok(built) => table = Some(built),
+                        Err(payload) => {
+                            table_failed =
+                                Some(crate::parallel::panic_message(payload.as_ref()));
+                        }
                     }
-                    Err(payload) => {
-                        table_failed = Some(crate::parallel::panic_message(payload.as_ref()));
+                } else {
+                    let mut buf = pair_obs.buffer();
+                    let table_timer = buf.start();
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        crate::shard::sharded_seed_table(params, &tchrom.sequence, options.threads)
+                    })) {
+                        Ok((built, build_time)) => {
+                            table = Some(Arc::new(built));
+                            out.timings.seeding += build_time;
+                            buf.finish(
+                                table_timer,
+                                SpanName::SeedTable,
+                                STRAND_NA,
+                                ti as u64,
+                                1,
+                                tchrom.sequence.len() as u64,
+                            );
+                        }
+                        Err(payload) => {
+                            table_failed =
+                                Some(crate::parallel::panic_message(payload.as_ref()));
+                        }
                     }
                 }
             }
@@ -377,7 +414,7 @@ pub fn align_assemblies_observed(
                 match catch_unwind(AssertUnwindSafe(|| {
                     run_pair(
                         params,
-                        table,
+                        table.as_ref(),
                         &tchrom.sequence,
                         &qchrom.sequence,
                         options.threads,
@@ -457,6 +494,7 @@ pub fn align_assemblies_observed(
     out.alignments
         .sort_by_key(|a| std::cmp::Reverse(a.aligned.alignment.score));
     let mut metrics = barrier_metrics(&out, options.threads);
+    metrics.spec_discard = out.counters.spec_discard;
     if let Some(inj) = injector.as_ref() {
         let (faults_injected, retries) = inj.totals();
         metrics.faults_injected = faults_injected;

@@ -355,9 +355,9 @@ fn encode_timings(out: &mut String, t: &StageTimings) {
 
 fn encode_counters(out: &mut String, c: &FunnelCounters) {
     out.push_str(&format!(
-        "{{\"raw_seed_hits\":{},\"hits_filtered\":{},\"filter_cells\":{},\"anchors_passed\":{},\"anchors_absorbed\":{},\"alignments_kept\":{},\"faults_injected\":{},\"retries\":{},\"stalls_detected\":{}}}",
+        "{{\"raw_seed_hits\":{},\"hits_filtered\":{},\"filter_cells\":{},\"anchors_passed\":{},\"anchors_absorbed\":{},\"alignments_kept\":{},\"faults_injected\":{},\"retries\":{},\"stalls_detected\":{},\"spec_discard\":{}}}",
         c.raw_seed_hits, c.hits_filtered, c.filter_cells, c.anchors_passed, c.anchors_absorbed, c.alignments_kept,
-        c.faults_injected, c.retries, c.stalls_detected
+        c.faults_injected, c.retries, c.stalls_detected, c.spec_discard
     ));
 }
 
@@ -657,6 +657,7 @@ fn decode_counters(value: Option<&json::Json>) -> Result<FunnelCounters, String>
         faults_injected: opt("faults_injected")?,
         retries: opt("retries")?,
         stalls_detected: opt("stalls_detected")?,
+        spec_discard: opt("spec_discard")?,
     })
 }
 
@@ -1043,6 +1044,7 @@ mod tests {
                 faults_injected: 1,
                 retries: 1,
                 stalls_detected: 0,
+                spec_discard: 2,
             },
             alignments: vec![WgaAlignment {
                 alignment: Alignment::new(5, 9, cigar, 1234),

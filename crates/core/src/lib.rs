@@ -47,6 +47,7 @@ pub mod genome_pipeline;
 pub mod journal;
 pub mod maf;
 pub mod obs;
+pub mod pangenome;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;

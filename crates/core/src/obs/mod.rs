@@ -172,10 +172,39 @@ pub enum Counter {
     ExtensionCells,
     /// Alignments kept after extension.
     AlignmentsKept,
+    /// Speculative extensions computed by shard helpers but thrown away
+    /// unconsumed (anchor absorbed or truncated before commit).
+    SpecDiscard,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 6;
+pub const COUNTER_COUNT: usize = 7;
+
+impl Counter {
+    /// Every counter, for trace rendering and schema tests.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::PairsDone,
+        Counter::FilterTiles,
+        Counter::FilterCells,
+        Counter::AnchorsPassed,
+        Counter::ExtensionCells,
+        Counter::AlignmentsKept,
+        Counter::SpecDiscard,
+    ];
+
+    /// The wire name used in trace JSONL `counter` lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Counter::PairsDone => "pairs.done",
+            Counter::FilterTiles => "filter.tiles",
+            Counter::FilterCells => "filter.cells",
+            Counter::AnchorsPassed => "anchors.passed",
+            Counter::ExtensionCells => "extend.cells",
+            Counter::AlignmentsKept => "alignments.kept",
+            Counter::SpecDiscard => "shard.spec_discard",
+        }
+    }
+}
 
 /// Histogram families maintained by the recorder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -579,11 +608,20 @@ impl TraceRecorder {
     }
 
     /// Writes the full trace as JSONL: one `{"span":…}` line per span
-    /// (timeline order) followed by one `{"hist":…}` line per
-    /// histogram family. Integer fields only.
+    /// (timeline order), one `{"counter":…}` line per funnel counter,
+    /// then one `{"hist":…}` line per histogram family. Integer fields
+    /// only.
     pub fn write_trace<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         for span in self.spans() {
             writeln!(w, "{}", span.to_json_line())?;
+        }
+        for counter in Counter::ALL {
+            writeln!(
+                w,
+                "{{\"counter\":\"{}\",\"value\":{}}}",
+                counter.as_str(),
+                self.counter(counter)
+            )?;
         }
         for kind in HistKind::ALL {
             let hist = self.histogram(kind);

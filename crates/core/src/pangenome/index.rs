@@ -1,0 +1,192 @@
+//! The shared multi-genome seed index.
+//!
+//! One [`MultiIndex`] serves the whole pair matrix: seed tables are
+//! keyed by `(genome, chromosome)` and built at most once per run via
+//! the sharded builder, then shared across every pair that aligns
+//! against that chromosome. This is the sweepga/FastGA unlock — a
+//! genome appearing in `N-1` pairs pays for its index once, not `N-1`
+//! times — and the tables are built *lazily*, so a kNN-sparsified run
+//! never indexes a genome whose pairs were all pruned.
+//!
+//! Frequency scaling: with `H` genomes in play, a k-mer present once
+//! per haplotype legitimately occurs `H` times across the index, so
+//! [`scaled_params`] multiplies `max_seed_occurrences` by the genome
+//! count (sweepga scales its adaptive frequency threshold by haplotype
+//! count the same way). Both the shared-index and per-pair-index modes
+//! align with the *scaled* parameters, which is what makes their
+//! outputs byte-identical: the sharded table build is bit-deterministic
+//! for any thread count, so equal parameters mean equal tables mean
+//! equal reports.
+
+use crate::config::WgaParams;
+use genome::assembly::Assembly;
+use genome::Sequence;
+use parking_lot::Mutex;
+use seed::SeedTable;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Scales the k-mer frequency threshold for a many-genome run: a seed
+/// may legitimately occur once per genome, so the per-table occurrence
+/// cap grows linearly with genome count.
+pub fn scaled_params(params: &WgaParams, genome_count: usize) -> WgaParams {
+    let mut scaled = params.clone();
+    scaled.max_seed_occurrences = scaled
+        .max_seed_occurrences
+        .saturating_mul(genome_count.max(1));
+    scaled
+}
+
+/// Lazily-built, cached seed tables over a genome set.
+pub struct MultiIndex<'g> {
+    genomes: &'g [Assembly],
+    params: WgaParams,
+    threads: usize,
+    tables: Mutex<BTreeMap<(usize, usize), Arc<SeedTable>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for MultiIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiIndex")
+            .field("genomes", &self.genomes.len())
+            .field("threads", &self.threads)
+            .field("builds", &self.builds())
+            .field("cache_hits", &self.cache_hits())
+            .finish()
+    }
+}
+
+impl<'g> MultiIndex<'g> {
+    /// Creates an empty index over `genomes`. `params` must already be
+    /// scaled (see [`scaled_params`]); `threads` feeds the sharded
+    /// table builder.
+    pub fn new(params: WgaParams, genomes: &'g [Assembly], threads: usize) -> MultiIndex<'g> {
+        MultiIndex {
+            genomes,
+            params,
+            threads,
+            tables: Mutex::new(BTreeMap::new()),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The seed table of `genomes[genome]`'s chromosome `chrom`,
+    /// building and caching it on first use. Out-of-range indices
+    /// (unreachable from the orchestrator, which derives both from the
+    /// same genome slice) resolve to an empty table rather than a
+    /// panic, keeping this module panic-free.
+    pub fn table(&self, genome: usize, chrom: usize) -> Arc<SeedTable> {
+        let key = (genome, chrom);
+        let mut tables = self.tables.lock();
+        if let Some(table) = tables.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(table);
+        }
+        let empty = Sequence::new();
+        let sequence = self
+            .genomes
+            .get(genome)
+            .and_then(|g| g.chromosomes().get(chrom))
+            .map_or(&empty, |c| &c.sequence);
+        let (built, _build_time) =
+            crate::shard::sharded_seed_table(&self.params, sequence, self.threads);
+        let table = Arc::new(built);
+        tables.insert(key, Arc::clone(&table));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        table
+    }
+
+    /// A provider closure for one genome's target side, in the shape
+    /// [`crate::genome_pipeline::SeedTableFn`] expects: chromosome
+    /// index in, shared table out.
+    pub fn provider(&self, genome: usize) -> impl Fn(usize) -> Arc<SeedTable> + Sync + '_ {
+        move |chrom| self.table(genome, chrom)
+    }
+
+    /// Tables built so far (each chromosome at most once).
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits so far (lookups served without a build).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::evolve::{EvolutionParams, SyntheticPair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_genomes() -> Vec<Assembly> {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pair = SyntheticPair::generate(5_000, &EvolutionParams::at_distance(0.15), &mut rng);
+        let mut a = Assembly::new("a");
+        a.push("chrI", pair.target.sequence.clone());
+        let mut b = Assembly::new("b");
+        b.push("chr1", pair.query.sequence.clone());
+        vec![a, b]
+    }
+
+    #[test]
+    fn scaling_multiplies_occurrence_cap() {
+        let base = WgaParams::darwin_wga();
+        let scaled = scaled_params(&base, 7);
+        assert_eq!(scaled.max_seed_occurrences, base.max_seed_occurrences * 7);
+        // Everything else unchanged.
+        assert_eq!(scaled.seed_pattern, base.seed_pattern);
+        assert_eq!(scaled.dsoft, base.dsoft);
+    }
+
+    #[test]
+    fn tables_build_once_and_hit_cache() {
+        let genomes = two_genomes();
+        let index = MultiIndex::new(scaled_params(&WgaParams::darwin_wga(), 2), &genomes, 2);
+        let t1 = index.table(0, 0);
+        let t2 = index.table(0, 0);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(index.builds(), 1);
+        assert_eq!(index.cache_hits(), 1);
+        let _ = index.table(1, 0);
+        assert_eq!(index.builds(), 2);
+    }
+
+    #[test]
+    fn cached_table_matches_fresh_build() {
+        let genomes = two_genomes();
+        let params = scaled_params(&WgaParams::darwin_wga(), 2);
+        let index = MultiIndex::new(params.clone(), &genomes, 3);
+        let shared = index.table(0, 0);
+        let (fresh, _) = crate::shard::sharded_seed_table(
+            &params,
+            &genomes[0].chromosomes()[0].sequence,
+            1,
+        );
+        // Sharded builds are bit-identical across thread counts, so the
+        // cached table must equal a serial rebuild.
+        let seq = &genomes[1].chromosomes()[0].sequence;
+        for pos in (0..seq.len().saturating_sub(32)).step_by(97) {
+            let word = seq
+                .slice(pos..pos + 32)
+                .iter()
+                .take(16)
+                .fold(0u64, |w, b| (w << 2) | u64::from(b.code() & 3));
+            assert_eq!(shared.lookup(word), fresh.lookup(word), "word at {pos}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_resolves_to_empty_table() {
+        let genomes = two_genomes();
+        let index = MultiIndex::new(scaled_params(&WgaParams::darwin_wga(), 2), &genomes, 1);
+        let table = index.table(99, 0);
+        assert_eq!(table.lookup(0).len(), 0);
+    }
+}

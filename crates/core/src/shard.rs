@@ -34,7 +34,7 @@
 //! composes unchanged with shard-level parallelism.
 
 use crate::config::WgaParams;
-use crate::obs::Obs;
+use crate::obs::{Counter, Obs};
 use crate::parallel::panic_message;
 use crate::report::{Strand, WgaReport};
 use crate::stages::{extend_anchors, extend_anchors_from, run_extension, timed_seed_table};
@@ -362,6 +362,16 @@ pub(crate) fn extend_anchors_sharded(
         stop_ref.store(true, Ordering::Relaxed);
         commit
     });
+
+    // Helper results still sitting in their slots were speculated but
+    // never consumed: the commit loop absorbed or truncated the anchor
+    // before reaching it. Pure telemetry — the value depends on the
+    // thread schedule, so it never feeds canonical output.
+    let discarded = slots.iter().filter(|slot| slot.lock().is_some()).count() as u64;
+    if discarded > 0 {
+        report.counters.spec_discard += discarded;
+        obs.add(Counter::SpecDiscard, discarded);
+    }
 
     match commit_result {
         Ok(Ok(())) => {}

@@ -51,6 +51,27 @@
 //! wga exons <alignments.maf> <exons.tsv> [--coverage F]
 //!     Score exon recovery: which intervals from a `wga generate`
 //!     exons.tsv are covered (≥ F, default 0.5) by the MAF's alignments.
+//!
+//! wga many <genome1.fa> <genome2.fa> [more.fa ...] [--knn K]
+//!          [--paf-out out.paf] [--report-out report.txt]
+//!          [--per-pair-index] [--baseline] [--threads N]
+//!          [--executor barrier|dataflow] [--queue-depth N]
+//!          [--filter-engine scalar|batched|simd] [--shard-size N]
+//!          [--checkpoint dir] [--fault-plan plan.json]
+//!          [--max-retries N] [--stall-timeout-ms N]
+//!     Many-genome mode: align every unordered pair of the genome set
+//!     through the pairwise pipeline, sharing one lazily-built seed
+//!     index across the whole matrix (the k-mer frequency cap scales
+//!     with genome count). --knn K aligns only pairs where either
+//!     genome ranks the other among its K nearest by sketch distance.
+//!     Overlapping alignments are deduplicated by a plane sweep;
+//!     --paf-out writes the survivors as PAF and --report-out the
+//!     canonical report, both atomically. --checkpoint names a
+//!     *directory* holding one journal per genome pair, so an
+//!     interrupted run resumes at pair granularity. --per-pair-index
+//!     rebuilds seed tables per pair instead of sharing (same bytes
+//!     out; exists to test the equivalence). Output is byte-identical
+//!     across executors, thread counts, shard sizes and index modes.
 //! ```
 
 use darwin_wga::chain::chainer::chain_alignments;
@@ -80,6 +101,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("align") => cmd_align(&args[1..]),
         Some("exons") => cmd_exons(&args[1..]),
+        Some("many") => cmd_many(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             Ok(())
@@ -107,6 +129,12 @@ usage:
             [--max-extension-cells N] [--deadline-ms N]
             [--fault-plan plan.json] [--max-retries N] [--stall-timeout-ms N]
   wga exons <alignments.maf> <exons.tsv> [--coverage F]
+  wga many <genome1.fa> <genome2.fa> [more.fa ...] [--knn K]
+           [--paf-out out.paf] [--report-out report.txt] [--per-pair-index]
+           [--baseline] [--threads N] [--executor barrier|dataflow]
+           [--queue-depth N] [--filter-engine scalar|batched|simd]
+           [--shard-size N] [--checkpoint dir] [--fault-plan plan.json]
+           [--max-retries N] [--stall-timeout-ms N]
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -588,6 +616,104 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
             write_sink(path, &buf, Hook::TraceSink, cli_injector.as_ref(), &retry_policy)?;
             println!("trace written to {path}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_many(args: &[String]) -> Result<(), String> {
+    use darwin_wga::core::pangenome::{self, ManyOptions};
+
+    let mut args = args.to_vec();
+    let baseline = take_flag(&mut args, "--baseline");
+    let per_pair_index = take_flag(&mut args, "--per-pair-index");
+    let threads: usize = parse_opt(&mut args, "--threads", 1)?;
+    let executor: ExecutorKind = parse_opt(&mut args, "--executor", ExecutorKind::Barrier)?;
+    let queue_depth: usize = parse_opt(&mut args, "--queue-depth", DEFAULT_QUEUE_DEPTH)?;
+    let knn = take_opt(&mut args, "--knn")?
+        .map(|v| v.parse::<usize>().map_err(|_| format!("invalid value for --knn: {v}")))
+        .transpose()?;
+    let paf_out = take_opt(&mut args, "--paf-out")?;
+    let report_out = take_opt(&mut args, "--report-out")?;
+    let filter_engine = take_opt(&mut args, "--filter-engine")?;
+    let shard_size = take_opt(&mut args, "--shard-size")?;
+    let checkpoint_dir = take_opt(&mut args, "--checkpoint")?;
+    let fault_plan_path =
+        take_opt(&mut args, "--fault-plan")?.or_else(|| std::env::var("WGA_FAULT_PLAN").ok());
+    let max_retries: u32 = parse_opt(&mut args, "--max-retries", 1)?;
+    let stall_timeout_ms: u64 = parse_opt(&mut args, "--stall-timeout-ms", 0)?;
+    if args.len() < 2 {
+        return Err(format!("many needs at least two genome FASTAs\n{USAGE}"));
+    }
+
+    let mut params = if baseline {
+        WgaParams::lastz_baseline()
+    } else {
+        WgaParams::darwin_wga()
+    };
+    if let Some(engine) = filter_engine {
+        params.filter_engine = engine.parse()?;
+    }
+    if let Some(shard) = shard_size {
+        params.shard_bases = shard
+            .parse()
+            .map_err(|_| format!("invalid value for --shard-size: {shard}"))?;
+    }
+    params.validate().map_err(|e| e.to_string())?;
+    let fault_plan = fault_plan_path
+        .map(|p| FaultPlan::from_file(std::path::Path::new(&p)).map_err(|e| e.to_string()))
+        .transpose()?
+        .map(Arc::new);
+
+    // Fail unwritable outputs before the run, not after it.
+    for path in [&paf_out, &report_out].into_iter().flatten() {
+        durable::pre_open_check(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    }
+
+    let genomes: Vec<Assembly> = args
+        .iter()
+        .map(|path| read_assembly(path))
+        .collect::<Result<_, _>>()?;
+    let options = ManyOptions {
+        threads,
+        executor,
+        queue_depth,
+        max_retries,
+        stall_timeout_ms,
+        fault_plan,
+        checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+        knn,
+        shared_index: !per_pair_index,
+    };
+    eprintln!(
+        "many-genome alignment: {} genomes, {} total bp, knn={}...",
+        genomes.len(),
+        genomes.iter().map(Assembly::total_bases).sum::<usize>(),
+        knn.map_or("all".to_string(), |k| k.to_string()),
+    );
+
+    let start = std::time::Instant::now();
+    let report = pangenome::align_many(&params, &genomes, &options).map_err(|e| e.to_string())?;
+    let wall = start.elapsed();
+
+    println!("== many-genome summary");
+    println!("wall time: {wall:?}");
+    println!("{}", report.summary());
+    for pair in report.pairs.iter().filter(|p| p.failed > 0) {
+        eprintln!(
+            "warning: {} vs {}: {} chromosome pair(s) failed",
+            pair.target_genome, pair.query_genome, pair.failed
+        );
+    }
+    if let Some(path) = report_out {
+        durable::write_atomic(std::path::Path::new(&path), report.canonical_text().as_bytes())
+            .map_err(|e| e.to_string())?;
+        println!("canonical report written to {path}");
+    }
+    if let Some(path) = paf_out {
+        let paf = pangenome::paf::paf_text(&report, &genomes);
+        durable::write_atomic(std::path::Path::new(&path), paf.as_bytes())
+            .map_err(|e| e.to_string())?;
+        println!("PAF written to {path}");
     }
     Ok(())
 }

@@ -367,6 +367,12 @@ fn whole_pipeline_identical_across_engines_and_threads() {
     ] {
         assert_eq!(reference.alignments, report.alignments, "{name}");
         assert_eq!(reference.workload, report.workload, "{name}");
-        assert_eq!(reference.counters, report.counters, "{name}");
+        // spec_discard measures speculation waste and varies with the
+        // thread schedule; every other counter must match exactly.
+        assert_eq!(
+            reference.counters.deterministic_view(),
+            report.counters.deterministic_view(),
+            "{name}"
+        );
     }
 }

@@ -33,6 +33,57 @@ fn parallel_filtering_matches_serial_exactly() {
     }
 }
 
+/// The dataflow producer dispatches pairs smallest-remaining-work
+/// first, which on this deliberately lopsided matrix (chromosome sizes
+/// 12k / 3k / 6k vs 9k / 2k) is very different from FIFO pair-id
+/// order. The canonical report must not notice: the collector
+/// assembles results in pair-id order and fault occurrences are scoped
+/// per (hook, pair), so scheduling policy is invisible in the output
+/// bytes across executors, thread counts and queue depths.
+#[test]
+fn dataflow_work_order_is_invisible_in_canonical_output() {
+    use darwin_wga::core::dataflow::ExecutorKind;
+    use darwin_wga::core::genome_pipeline::{align_assemblies_with, AlignOptions};
+    use darwin_wga::genome::assembly::Assembly;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let params = EvolutionParams::at_distance(0.2);
+    let sizes_t = [12_000usize, 3_000, 6_000];
+    let sizes_q = [9_000usize, 2_000];
+    let mut target = Assembly::new("t");
+    let mut query = Assembly::new("q");
+    for (i, len) in sizes_t.iter().enumerate() {
+        let p = SyntheticPair::generate(*len, &params, &mut rng);
+        target.push(format!("chr{i}T"), p.target.sequence.clone());
+        if let Some(qlen) = sizes_q.get(i) {
+            let pq = SyntheticPair::generate(*qlen, &params, &mut rng);
+            query.push(format!("chr{i}Q"), pq.query.sequence.clone());
+        }
+    }
+
+    let wga = WgaParams::darwin_wga();
+    let reference = align_assemblies_with(&wga, &target, &query, &AlignOptions::default())
+        .expect("barrier reference run")
+        .canonical_text();
+    for threads in [1usize, 2, 8] {
+        for queue_depth in [1usize, 64] {
+            let options = AlignOptions {
+                threads,
+                executor: ExecutorKind::Dataflow,
+                queue_depth,
+                ..AlignOptions::default()
+            };
+            let report = align_assemblies_with(&wga, &target, &query, &options)
+                .expect("dataflow run");
+            assert_eq!(
+                report.canonical_text(),
+                reference,
+                "dataflow {threads}t depth={queue_depth} diverged from barrier reference"
+            );
+        }
+    }
+}
+
 #[test]
 fn generation_is_seed_stable_across_calls() {
     let a = pair(7);

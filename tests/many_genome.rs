@@ -1,0 +1,242 @@
+//! Many-genome mode integration suite.
+//!
+//! The determinism contract under test: the canonical many-genome
+//! report and the PAF rendering are byte-identical across executors,
+//! thread counts, shard sizes and shared-index vs per-pair-index modes;
+//! kNN sparsification provably skips distant pairs while leaving the
+//! near-pair alignments untouched; and a run killed mid-matrix resumes
+//! from its checkpoint directory into the byte-identical report.
+
+use darwin_wga::core::config::WgaParams;
+use darwin_wga::core::dataflow::ExecutorKind;
+use darwin_wga::core::faultsim::FaultPlan;
+use darwin_wga::core::pangenome::{self, paf::paf_text, ManyOptions, ManyReport};
+use darwin_wga::genome::assembly::Assembly;
+use darwin_wga::genome::evolve::{EvolutionParams, SyntheticPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// `2 * clusters` genomes, one chromosome each: each cluster is a
+/// target/query pair descended from one ancestor, so within-cluster
+/// pairs are near and cross-cluster pairs are unrelated.
+fn clustered_genomes(clusters: usize, len: usize, seed: u64) -> Vec<Assembly> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut genomes = Vec::new();
+    for c in 0..clusters {
+        let pair = SyntheticPair::generate(len, &EvolutionParams::at_distance(0.12), &mut rng);
+        for (side, seq) in [("t", &pair.target.sequence), ("q", &pair.query.sequence)] {
+            let mut g = Assembly::new(format!("c{c}{side}"));
+            g.push("chr", seq.clone());
+            genomes.push(g);
+        }
+    }
+    genomes
+}
+
+/// Three genomes with two chromosomes each, all descended from the same
+/// two ancestral chromosomes — every genome pair has signal on both
+/// chromosome pairs, giving the kill/resume test a real matrix.
+fn multi_chromosome_genomes() -> Vec<Assembly> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = SyntheticPair::generate(5_000, &EvolutionParams::at_distance(0.12), &mut rng);
+    let b = SyntheticPair::generate(4_000, &EvolutionParams::at_distance(0.12), &mut rng);
+    let extra_a = SyntheticPair::generate(5_000, &EvolutionParams::at_distance(0.12), &mut rng);
+    let mut g0 = Assembly::new("g0");
+    g0.push("chrI", a.target.sequence.clone());
+    g0.push("chrII", b.target.sequence.clone());
+    let mut g1 = Assembly::new("g1");
+    g1.push("chrI", a.query.sequence.clone());
+    g1.push("chrII", b.query.sequence.clone());
+    let mut g2 = Assembly::new("g2");
+    g2.push("chrI", extra_a.query.sequence.clone());
+    g2.push("chrII", b.query.sequence.clone());
+    vec![g0, g1, g2]
+}
+
+fn run(genomes: &[Assembly], options: &ManyOptions) -> ManyReport {
+    pangenome::align_many(&WgaParams::darwin_wga(), genomes, options)
+        .expect("many-genome run succeeds")
+}
+
+fn checkpoint_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wga-many-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn byte_identity_across_executors_threads_shards_and_index_modes() {
+    let genomes = clustered_genomes(2, 6_000, 5);
+    let reference = run(&genomes, &ManyOptions::default());
+    let expected = reference.canonical_text();
+    let expected_paf = paf_text(&reference, &genomes);
+    assert!(expected.contains("aln\t"), "reference run found alignments");
+    assert!(!expected_paf.is_empty(), "reference run emits PAF");
+
+    for executor in [ExecutorKind::Barrier, ExecutorKind::Dataflow] {
+        for threads in [1usize, 3] {
+            for shared_index in [true, false] {
+                let options = ManyOptions {
+                    threads,
+                    executor,
+                    shared_index,
+                    ..ManyOptions::default()
+                };
+                let report = run(&genomes, &options);
+                let label = format!("{executor:?}/{threads}t/shared={shared_index}");
+                assert_eq!(report.canonical_text(), expected, "{label}: report");
+                assert_eq!(paf_text(&report, &genomes), expected_paf, "{label}: PAF");
+            }
+        }
+    }
+
+    // Shard size is a scheduling knob, never a result knob.
+    for shard_bases in [512usize, 8_192] {
+        let mut params = WgaParams::darwin_wga();
+        params.shard_bases = shard_bases;
+        let options = ManyOptions {
+            threads: 3,
+            ..ManyOptions::default()
+        };
+        let report =
+            pangenome::align_many(&params, &genomes, &options).expect("sharded run succeeds");
+        assert_eq!(report.canonical_text(), expected, "shard_bases={shard_bases}");
+    }
+}
+
+#[test]
+fn six_genome_run_is_deterministic_across_executors() {
+    let genomes = clustered_genomes(3, 4_000, 17);
+    assert_eq!(genomes.len(), 6);
+    let serial = run(&genomes, &ManyOptions::default());
+    assert_eq!(serial.pairs.len(), 15, "all-vs-all over 6 genomes");
+    let dataflow = run(
+        &genomes,
+        &ManyOptions {
+            threads: 3,
+            executor: ExecutorKind::Dataflow,
+            ..ManyOptions::default()
+        },
+    );
+    assert_eq!(dataflow.canonical_text(), serial.canonical_text());
+    assert_eq!(paf_text(&dataflow, &genomes), paf_text(&serial, &genomes));
+}
+
+#[test]
+fn knn_skips_distant_pairs_and_keeps_near_alignments() {
+    // Three clusters of two: each genome's true neighbour is its
+    // cluster mate; everything else is unrelated.
+    let genomes = clustered_genomes(3, 5_000, 23);
+    let all = run(&genomes, &ManyOptions::default());
+    let knn = run(
+        &genomes,
+        &ManyOptions {
+            knn: Some(2),
+            ..ManyOptions::default()
+        },
+    );
+
+    let mates = [(0usize, 1usize), (2, 3), (4, 5)];
+    let scheduled: Vec<(usize, usize)> = knn
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.scheduled)
+        .map(|(i, _)| (all.pairs[i].target_genome.clone(), all.pairs[i].query_genome.clone()))
+        .map(|(t, q)| {
+            let idx = |name: &str| genomes.iter().position(|g| g.name == name).unwrap();
+            (idx(&t), idx(&q))
+        })
+        .collect();
+    for mate in mates {
+        assert!(scheduled.contains(&mate), "near pair {mate:?} kept: {scheduled:?}");
+    }
+    assert!(
+        scheduled.len() < all.pairs.len(),
+        "knn=2 over unrelated clusters must prune at least one distant pair"
+    );
+
+    // The kept pairs' alignments are exactly what the all-pairs run
+    // found for them — sparsification changes coverage, never content.
+    for (a, b) in mates {
+        let (ta, tb) = (genomes[a].name.as_str(), genomes[b].name.as_str());
+        let pick = |r: &ManyReport| -> Vec<String> {
+            r.alignments
+                .iter()
+                .filter(|al| al.target_genome == ta && al.query_genome == tb)
+                .map(|al| format!("{:?}", al.aligned))
+                .collect()
+        };
+        let from_all = pick(&all);
+        assert!(!from_all.is_empty(), "cluster pair {ta}/{tb} aligns");
+        assert_eq!(pick(&knn), from_all, "{ta}/{tb}: alignments unchanged under knn");
+    }
+}
+
+#[test]
+fn kill_mid_matrix_then_resume_matches_uninterrupted() {
+    let genomes = multi_chromosome_genomes();
+    let golden = run(&genomes, &ManyOptions::default());
+    assert!(
+        golden.pairs.iter().all(|p| p.failed == 0),
+        "uninterrupted run must be clean"
+    );
+
+    // A panic injected at the journal append of inner chromosome pair 3
+    // is the moral equivalent of `kill -9` mid-checkpoint: the first
+    // genome pair dies after making three of its four chromosome pairs
+    // durable.
+    let plan = Arc::new(
+        FaultPlan::parse(
+            "{\"format\":\"wga-fault-plan\",\"version\":1,\"seed\":7,\"faults\":[\
+             {\"hook\":\"journal.append\",\"kind\":\"panic\",\"at\":[0],\"pair\":3}]}",
+        )
+        .expect("fault plan parses"),
+    );
+    let dir = checkpoint_dir("kill-resume");
+    let chaos = ManyOptions {
+        checkpoint_dir: Some(dir.clone()),
+        fault_plan: Some(plan),
+        ..ManyOptions::default()
+    };
+    let crashed = catch_unwind(AssertUnwindSafe(|| run(&genomes, &chaos)));
+    assert!(crashed.is_err(), "injected journal panic must kill the run");
+
+    let resumed = run(
+        &genomes,
+        &ManyOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..ManyOptions::default()
+        },
+    );
+    assert_eq!(
+        resumed.resumed_pairs, 3,
+        "three chromosome pairs survived the kill"
+    );
+    assert_eq!(resumed.canonical_text(), golden.canonical_text());
+    assert_eq!(paf_text(&resumed, &genomes), paf_text(&golden, &genomes));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointed_rerun_replays_every_pair() {
+    let genomes = clustered_genomes(2, 4_000, 41);
+    let dir = checkpoint_dir("full-replay");
+    let options = ManyOptions {
+        checkpoint_dir: Some(dir.clone()),
+        ..ManyOptions::default()
+    };
+    let first = run(&genomes, &options);
+    assert_eq!(first.resumed_pairs, 0);
+    let second = run(&genomes, &options);
+    assert_eq!(
+        second.resumed_pairs,
+        genomes.len() as u64 * (genomes.len() as u64 - 1) / 2,
+        "every (single-chromosome) genome pair replays from its journal"
+    );
+    assert_eq!(second.canonical_text(), first.canonical_text());
+    let _ = std::fs::remove_dir_all(&dir);
+}

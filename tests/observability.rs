@@ -8,8 +8,9 @@
 //!    observability layer may observe; it may never perturb.
 //! 2. **Trace schema** — `TraceRecorder::write_trace` emits JSONL that
 //!    the repo's own JSON parser accepts: every span line carries the
-//!    full integer field set and a known span name; every histogram line
-//!    carries sorted log2 buckets that sum to its total.
+//!    full integer field set and a known span name; every counter line
+//!    carries a known counter name and non-negative value; every
+//!    histogram line carries sorted log2 buckets that sum to its total.
 //! 3. **Metrics universality** — every executor reports
 //!    [`ExecutorMetrics`] whose JSON round-trips through the parser and
 //!    is tagged with the executor that produced it.
@@ -83,8 +84,9 @@ fn golden_report_is_identical_with_recorder_on() {
 }
 
 /// Every span line in the trace parses, uses a known span name, and
-/// carries the full integer schema; histogram lines carry sorted buckets
-/// summing to their totals.
+/// carries the full integer schema; counter lines carry a known counter
+/// name and a non-negative value, with exactly one line per counter;
+/// histogram lines carry sorted buckets summing to their totals.
 #[test]
 fn trace_jsonl_matches_schema() {
     let (target, query, _) = golden_inputs();
@@ -105,8 +107,10 @@ fn trace_jsonl_matches_schema() {
 
     let known: Vec<&str> = SpanName::ALL.iter().map(|n| n.as_str()).collect();
     let known_hists: Vec<&str> = HistKind::ALL.iter().map(|h| h.as_str()).collect();
+    let known_counters: Vec<&str> = Counter::ALL.iter().map(|c| c.as_str()).collect();
     let mut seen_spans = Vec::new();
     let mut seen_hists = Vec::new();
+    let mut seen_counters = Vec::new();
     for line in text.lines() {
         let doc = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
         if let Some(name) = doc.get("span").and_then(Json::as_str) {
@@ -117,6 +121,10 @@ fn trace_jsonl_matches_schema() {
             let strand = int_field(&doc, "strand");
             assert!((0..=2).contains(&strand), "strand code out of range");
             seen_spans.push(name.to_string());
+        } else if let Some(name) = doc.get("counter").and_then(Json::as_str) {
+            assert!(known_counters.contains(&name), "unknown counter {name:?}");
+            assert!(int_field(&doc, "value") >= 0, "{name}: negative value");
+            seen_counters.push(name.to_string());
         } else if let Some(name) = doc.get("hist").and_then(Json::as_str) {
             assert!(known_hists.contains(&name), "unknown histogram {name:?}");
             let total = int_field(&doc, "total");
@@ -135,8 +143,16 @@ fn trace_jsonl_matches_schema() {
             assert_eq!(sum, total, "{name}: bucket counts must sum to total");
             seen_hists.push(name.to_string());
         } else {
-            panic!("line is neither a span nor a histogram: {line:?}");
+            panic!("line is neither a span, a counter, nor a histogram: {line:?}");
         }
+    }
+    // Exactly one line per counter, including `shard.spec_discard`.
+    for required in &known_counters {
+        assert_eq!(
+            seen_counters.iter().filter(|c| *c == required).count(),
+            1,
+            "expected exactly one counter line for {required:?}"
+        );
     }
     // The serial golden run must produce the core span taxonomy…
     for required in ["seed.table", "seed", "filter.batch", "extend.tile"] {

@@ -248,6 +248,11 @@ proptest! {
         let report = run_parallel(&sharded, &t, &q, threads);
         prop_assert_eq!(&reference.alignments, &report.alignments);
         prop_assert_eq!(&reference.workload, &report.workload);
-        prop_assert_eq!(&reference.counters, &report.counters);
+        // spec_discard counts discarded speculative work and depends on
+        // the thread schedule; the deterministic view must still match.
+        prop_assert_eq!(
+            reference.counters.deterministic_view(),
+            report.counters.deterministic_view()
+        );
     }
 }
