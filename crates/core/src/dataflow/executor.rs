@@ -57,6 +57,16 @@ use crate::config::WgaParams;
 use crate::dataflow::metrics::{ExecutorMetrics, StageMeter};
 use crate::dataflow::ExecutorKind;
 use crate::obs::{strand_code, Counter, Obs, SpanName, STRAND_NA};
+
+/// `seq` codes on `queue.wait` spans, naming the queue the worker
+/// blocked on (see `SpanName::QueueWait`).
+pub const QUEUE_SEED_PUSH: u64 = 0;
+/// Filter worker blocked popping `filter_q`.
+pub const QUEUE_FILTER_POP: u64 = 1;
+/// Extension worker blocked popping `extend_q`.
+pub const QUEUE_EXTEND_POP: u64 = 2;
+/// Collector blocked popping `done_q`.
+pub const QUEUE_DONE_POP: u64 = 3;
 use crate::dataflow::queue::BoundedQueue;
 use crate::error::{WgaError, WgaResult};
 use crate::faultsim::{FaultInjector, Hook};
@@ -308,10 +318,21 @@ pub(crate) fn execute(
                     alive: filter_alive,
                     downstream: extend_q,
                 };
+                let mut wait_buf = obs.buffer();
                 loop {
+                    let wait_timer = wait_buf.start();
                     let wait = Instant::now();
                     let Some(task) = filter_q.pop() else { break };
                     filter_meter.add_idle(wait.elapsed());
+                    wait_buf.finish_for_pair(
+                        wait_timer,
+                        SpanName::QueueWait,
+                        task.pair_id as u64,
+                        STRAND_NA,
+                        QUEUE_FILTER_POP,
+                        0,
+                        0,
+                    );
                     let pair_obs = obs.with_pair(task.pair_id as u64);
                     let result = match gate_queue(
                         injector,
@@ -355,10 +376,21 @@ pub(crate) fn execute(
                     alive: ext_alive,
                     downstream: done_q,
                 };
+                let mut wait_buf = obs.buffer();
                 loop {
+                    let wait_timer = wait_buf.start();
                     let wait = Instant::now();
                     let Some(job) = extend_q.pop() else { break };
                     ext_meter.add_idle(wait.elapsed());
+                    wait_buf.finish_for_pair(
+                        wait_timer,
+                        SpanName::QueueWait,
+                        job.pair_id as u64,
+                        STRAND_NA,
+                        QUEUE_EXTEND_POP,
+                        0,
+                        0,
+                    );
                     let pair_id = job.pair_id;
                     let pair_obs = obs.with_pair(pair_id as u64);
                     let gate = gate_queue(
@@ -417,7 +449,18 @@ pub(crate) fn execute(
         let mut slots: Vec<Option<Result<WgaReport, String>>> = vec![None; npairs];
         let mut journal_err: Option<WgaError> = None;
         let mut collector_buf = obs.buffer();
-        while let Some(mut done) = done_q.pop() {
+        loop {
+            let wait_timer = collector_buf.start();
+            let Some(mut done) = done_q.pop() else { break };
+            collector_buf.finish_for_pair(
+                wait_timer,
+                SpanName::QueueWait,
+                done.pair_id as u64,
+                STRAND_NA,
+                QUEUE_DONE_POP,
+                0,
+                0,
+            );
             heartbeat.fetch_add(1, Ordering::Relaxed);
             obs.add(Counter::PairsDone, 1);
             match &mut done.result {
@@ -784,11 +827,22 @@ fn produce<'a>(
                     }
                     break;
                 }
+                let mut wait_buf = obs.buffer();
+                let wait_timer = wait_buf.start();
                 let wait = Instant::now();
                 if filter_q.push(task).is_err() {
                     return; // shutdown in progress (journal failure)
                 }
                 seed_meter.add_idle(wait.elapsed());
+                wait_buf.finish_for_pair(
+                    wait_timer,
+                    SpanName::QueueWait,
+                    pair_id as u64,
+                    STRAND_NA,
+                    QUEUE_SEED_PUSH,
+                    0,
+                    0,
+                );
                 heartbeat.fetch_add(1, Ordering::Relaxed);
             }
         }

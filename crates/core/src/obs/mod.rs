@@ -44,6 +44,55 @@ use std::time::Instant;
 /// `pair` value for spans not attributed to a chromosome pair.
 pub const NO_PAIR: u64 = u64::MAX;
 
+/// Version stamped into the `{"schema":N}` header line of every trace
+/// written by [`TraceRecorder::write_trace`]. Bumped when the JSONL
+/// shape changes incompatibly; readers (`wga profile`) reject traces
+/// with a higher major and treat headerless traces as schema 1.
+///
+/// * schema 1 — spans without `tid`/`id`/`parent`, no header line.
+/// * schema 2 — header line, per-span `tid`/`id`/`parent`, `extend`
+///   lane spans, `queue.wait` spans, the `extend.rows` counter.
+pub const TRACE_SCHEMA: u64 = 2;
+
+/// `parent`/`id` value for spans with no parent (or, for `id`, spans
+/// recorded while observability was off).
+pub const NO_SPAN: u64 = 0;
+
+/// Worker-thread ids are assigned lazily, first-use order; 0 is "never
+/// assigned" so real ids start at 1.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static NEXT_LOCAL_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Small stable id for the calling thread (1-based, assigned on first
+/// use). Ids are process-wide, so every recorder in a run shares one
+/// numbering and a worker keeps its id across pairs.
+pub fn thread_id() -> u64 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+/// Allocates a process-unique span id on the calling thread: the
+/// thread id in the high bits, a per-thread sequence in the low 40.
+/// Never returns [`NO_SPAN`].
+fn alloc_span_id() -> u64 {
+    let tid = thread_id();
+    NEXT_LOCAL_SPAN.with(|n| {
+        let next = n.get() + 1;
+        n.set(next);
+        (tid << 40) | next
+    })
+}
+
 /// `strand` code for forward-strand spans.
 pub const STRAND_FWD: u8 = 0;
 /// `strand` code for reverse-strand spans.
@@ -82,11 +131,19 @@ pub enum SpanName {
     /// One injected fault (`seq` = hook code, `items` = fault-kind
     /// code), the audit trail of a chaos run.
     Fault,
+    /// The whole extension commit loop of one (pair, strand) lane
+    /// (`items` = anchors in, `cells` = extension DP cells); the
+    /// `extend.tile` spans it encloses carry its id as their `parent`.
+    Extend,
+    /// Time a dataflow worker spent blocked on a bounded queue
+    /// (`seq` = queue code: 0 producer→filter push, 1 filter pop,
+    /// 2 extension pop, 3 collector pop).
+    QueueWait,
 }
 
 impl SpanName {
     /// Every span name, for schema tests and documentation.
-    pub const ALL: [SpanName; 9] = [
+    pub const ALL: [SpanName; 11] = [
         SpanName::Seed,
         SpanName::SeedTable,
         SpanName::FilterBatch,
@@ -96,6 +153,8 @@ impl SpanName {
         SpanName::HwsimBsw,
         SpanName::HwsimGactx,
         SpanName::Fault,
+        SpanName::Extend,
+        SpanName::QueueWait,
     ];
 
     /// The wire name used in trace JSONL lines.
@@ -110,6 +169,8 @@ impl SpanName {
             SpanName::HwsimBsw => "hwsim.bsw",
             SpanName::HwsimGactx => "hwsim.gactx",
             SpanName::Fault => "fault",
+            SpanName::Extend => "extend",
+            SpanName::QueueWait => "queue.wait",
         }
     }
 }
@@ -137,6 +198,14 @@ pub struct Span {
     pub items: u64,
     /// DP cells covered, where meaningful (0 otherwise).
     pub cells: u64,
+    /// Id of the worker thread that recorded the span ([`thread_id`]).
+    pub tid: u64,
+    /// Process-unique span id ([`NO_SPAN`] only in hand-built spans).
+    pub id: u64,
+    /// Id of the enclosing span, or [`NO_SPAN`] for top-level spans.
+    /// Today only `extend.tile` spans nest (under their lane's
+    /// `extend` span).
+    pub parent: u64,
 }
 
 impl Span {
@@ -144,7 +213,8 @@ impl Span {
     pub fn to_json_line(&self) -> String {
         format!(
             "{{\"span\":\"{}\",\"pair\":{},\"strand\":{},\"seq\":{},\
-             \"start_us\":{},\"dur_us\":{},\"items\":{},\"cells\":{}}}",
+             \"start_us\":{},\"dur_us\":{},\"items\":{},\"cells\":{},\
+             \"tid\":{},\"id\":{},\"parent\":{}}}",
             self.name.as_str(),
             self.pair,
             self.strand,
@@ -152,7 +222,10 @@ impl Span {
             self.start_us,
             self.dur_us,
             self.items,
-            self.cells
+            self.cells,
+            self.tid,
+            self.id,
+            self.parent
         )
     }
 }
@@ -170,6 +243,9 @@ pub enum Counter {
     AnchorsPassed,
     /// DP cells spent in GACT-X extension.
     ExtensionCells,
+    /// DP rows spent in GACT-X extension (with cells and tiles, enough
+    /// to replay the GACT-X cycle model from a trace).
+    ExtensionRows,
     /// Alignments kept after extension.
     AlignmentsKept,
     /// Speculative extensions computed by shard helpers but thrown away
@@ -178,7 +254,7 @@ pub enum Counter {
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 7;
+pub const COUNTER_COUNT: usize = 8;
 
 impl Counter {
     /// Every counter, for trace rendering and schema tests.
@@ -188,6 +264,7 @@ impl Counter {
         Counter::FilterCells,
         Counter::AnchorsPassed,
         Counter::ExtensionCells,
+        Counter::ExtensionRows,
         Counter::AlignmentsKept,
         Counter::SpecDiscard,
     ];
@@ -200,6 +277,7 @@ impl Counter {
             Counter::FilterCells => "filter.cells",
             Counter::AnchorsPassed => "anchors.passed",
             Counter::ExtensionCells => "extend.cells",
+            Counter::ExtensionRows => "extend.rows",
             Counter::AlignmentsKept => "alignments.kept",
             Counter::SpecDiscard => "shard.spec_discard",
         }
@@ -292,6 +370,7 @@ pub struct Obs<'a> {
     fault: Option<&'a crate::faultsim::FaultInjector>,
     epoch: Instant,
     pair: u64,
+    mute_totals: bool,
 }
 
 impl std::fmt::Debug for Obs<'_> {
@@ -312,6 +391,7 @@ impl Obs<'static> {
             fault: None,
             epoch: Instant::now(),
             pair: NO_PAIR,
+            mute_totals: false,
         }
     }
 }
@@ -326,12 +406,24 @@ impl<'a> Obs<'a> {
             fault: None,
             epoch: Instant::now(),
             pair: NO_PAIR,
+            mute_totals: false,
         }
     }
 
     /// A copy of this handle attributing subsequent spans to `pair`.
     pub fn with_pair(self, pair: u64) -> Obs<'a> {
         Obs { pair, ..self }
+    }
+
+    /// A copy of this handle that drops [`Obs::set_total_pairs`] calls.
+    /// An orchestrator that announces a grand total up front (the
+    /// many-genome driver) hands this to the per-pair pipelines so
+    /// their own per-run totals cannot clobber it.
+    pub fn with_muted_totals(self) -> Obs<'a> {
+        Obs {
+            mute_totals: true,
+            ..self
+        }
     }
 
     /// A copy of this handle carrying (or dropping) a fault injector.
@@ -372,6 +464,9 @@ impl<'a> Obs<'a> {
                 dur_us: 0,
                 items: kind_code,
                 cells: 0,
+                tid: thread_id(),
+                id: alloc_span_id(),
+                parent: NO_SPAN,
             }];
             rec.flush_spans(&mut spans);
         }
@@ -404,10 +499,13 @@ impl<'a> Obs<'a> {
         }
     }
 
-    /// Forwards the run's total pair count to the recorder.
+    /// Forwards the run's total pair count to the recorder (dropped on
+    /// a [`Obs::with_muted_totals`] handle).
     pub fn set_total_pairs(&self, pairs: u64) {
         if let Some(rec) = self.rec {
-            rec.set_total_pairs(pairs);
+            if !self.mute_totals {
+                rec.set_total_pairs(pairs);
+            }
         }
     }
 
@@ -433,13 +531,42 @@ impl<'a> Obs<'a> {
     }
 
     /// Per-extended-anchor instrumentation: tiles-per-anchor histogram
-    /// and the extension cell counter.
+    /// and the extension cell/row counters.
     #[inline]
-    pub fn extension_anchor(&self, tiles: u64, cells: u64) {
+    pub fn extension_anchor(&self, tiles: u64, cells: u64, rows: u64) {
         if let Some(rec) = self.rec {
             rec.observe(HistKind::ExtendTilesPerAnchor, tiles);
             rec.add(Counter::ExtensionCells, cells);
+            rec.add(Counter::ExtensionRows, rows);
         }
+    }
+
+    /// Records the modeled accelerator cycles for the run as a
+    /// `hwsim.bsw` and a `hwsim.gactx` span (`items` = tiles,
+    /// `cells` = modeled cycles) — the bridge the drift engine in
+    /// `wga profile` compares against a replay of the trace's workload
+    /// through the same cycle models.
+    pub fn hwsim_spans(
+        &self,
+        bsw_tiles: u64,
+        bsw_cycles: u64,
+        gactx_tiles: u64,
+        gactx_cycles: u64,
+    ) {
+        let mut buf = self.buffer();
+        let bsw_timer = buf.start();
+        buf.finish_for_pair(bsw_timer, SpanName::HwsimBsw, NO_PAIR, STRAND_NA, 0, bsw_tiles, bsw_cycles);
+        let gactx_timer = buf.start();
+        buf.finish_for_pair(
+            gactx_timer,
+            SpanName::HwsimGactx,
+            NO_PAIR,
+            STRAND_NA,
+            0,
+            gactx_tiles,
+            gactx_cycles,
+        );
+        buf.flush();
     }
 
     /// A fresh span buffer bound to this handle. One per worker/batch;
@@ -448,6 +575,7 @@ impl<'a> Obs<'a> {
         SpanBuf {
             obs: *self,
             spans: Vec::new(),
+            parent: NO_SPAN,
         }
     }
 
@@ -462,6 +590,8 @@ impl<'a> Obs<'a> {
         seq: u64,
         items: u64,
         cells: u64,
+        id: u64,
+        parent: u64,
     ) {
         let Some(start) = timer.0 else { return };
         spans.push(Span {
@@ -473,6 +603,9 @@ impl<'a> Obs<'a> {
             dur_us: start.elapsed().as_micros() as u64,
             items,
             cells,
+            tid: thread_id(),
+            id: if id == NO_SPAN { alloc_span_id() } else { id },
+            parent,
         });
     }
 }
@@ -486,6 +619,7 @@ pub struct SpanTimer(Option<Instant>);
 pub struct SpanBuf<'a> {
     obs: Obs<'a>,
     spans: Vec<Span>,
+    parent: u64,
 }
 
 impl std::fmt::Debug for SpanBuf<'_> {
@@ -504,6 +638,24 @@ impl SpanBuf<'_> {
         self.obs.timer()
     }
 
+    /// Pre-allocates a span id the caller can hand to
+    /// [`SpanBuf::finish_with_id`] and advertise as the parent of
+    /// enclosed spans before the enclosing span itself finishes.
+    /// Returns [`NO_SPAN`] on a disabled handle.
+    pub fn alloc_id(&self) -> u64 {
+        if self.obs.rec.is_some() {
+            alloc_span_id()
+        } else {
+            NO_SPAN
+        }
+    }
+
+    /// Sets the `parent` stamped on every span this buffer finishes
+    /// from now on ([`NO_SPAN`] to clear).
+    pub fn set_parent(&mut self, parent: u64) {
+        self.parent = parent;
+    }
+
     /// Completes a span attributed to the handle's pair.
     pub fn finish(
         &mut self,
@@ -516,6 +668,27 @@ impl SpanBuf<'_> {
     ) {
         let pair = self.obs.pair;
         self.finish_for_pair(timer, name, pair, strand, seq, items, cells);
+    }
+
+    /// Completes a span under a pre-allocated id from
+    /// [`SpanBuf::alloc_id`], attributed to the handle's pair. The
+    /// buffer's current parent does not apply (a span cannot be its
+    /// own ancestor); the span is top-level unless `set_parent` is
+    /// layered by hand into `finish_for_pair`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish_with_id(
+        &mut self,
+        timer: SpanTimer,
+        id: u64,
+        name: SpanName,
+        strand: u8,
+        seq: u64,
+        items: u64,
+        cells: u64,
+    ) {
+        let obs = self.obs;
+        let pair = obs.pair;
+        obs.push_span(&mut self.spans, timer, name, pair, strand, seq, items, cells, id, NO_SPAN);
     }
 
     /// Completes a span attributed to an explicit pair (for buffers
@@ -532,7 +705,8 @@ impl SpanBuf<'_> {
         cells: u64,
     ) {
         let obs = self.obs;
-        obs.push_span(&mut self.spans, timer, name, pair, strand, seq, items, cells);
+        let parent = self.parent;
+        obs.push_span(&mut self.spans, timer, name, pair, strand, seq, items, cells, NO_SPAN, parent);
     }
 
     /// Hands buffered spans to the recorder, leaving the buffer empty.
@@ -591,7 +765,7 @@ impl TraceRecorder {
     /// `(start_us, pair, seq)` into a stable timeline.
     pub fn spans(&self) -> Vec<Span> {
         let mut spans = self.spans.lock().clone();
-        spans.sort_by_key(|s| (s.start_us, s.pair, s.seq));
+        spans.sort_by_key(|s| (s.start_us, s.pair, s.seq, s.id));
         spans
     }
 
@@ -607,11 +781,13 @@ impl TraceRecorder {
         }
     }
 
-    /// Writes the full trace as JSONL: one `{"span":…}` line per span
+    /// Writes the full trace as JSONL: a `{"schema":N}` header line
+    /// (see [`TRACE_SCHEMA`]), one `{"span":…}` line per span
     /// (timeline order), one `{"counter":…}` line per funnel counter,
     /// then one `{"hist":…}` line per histogram family. Integer fields
     /// only.
     pub fn write_trace<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "{{\"schema\":{TRACE_SCHEMA}}}")?;
         for span in self.spans() {
             writeln!(w, "{}", span.to_json_line())?;
         }
@@ -697,7 +873,7 @@ mod tests {
 
         let timer = obs.timer();
         obs.filter_tile(&timer, 640);
-        obs.extension_anchor(5, 1_000);
+        obs.extension_anchor(5, 1_000, 40);
         obs.add(Counter::PairsDone, 1);
 
         {
@@ -710,6 +886,7 @@ mod tests {
         assert_eq!(rec.counter(Counter::FilterTiles), 1);
         assert_eq!(rec.counter(Counter::FilterCells), 640);
         assert_eq!(rec.counter(Counter::ExtensionCells), 1_000);
+        assert_eq!(rec.counter(Counter::ExtensionRows), 40);
         assert_eq!(rec.counter(Counter::PairsDone), 1);
         assert_eq!(rec.histogram(HistKind::ExtendTilesPerAnchor).total(), 1);
         assert_eq!(rec.histogram(HistKind::FilterTileCells).total(), 1);
@@ -733,12 +910,52 @@ mod tests {
             dur_us: 20,
             items: 4,
             cells: 512,
+            tid: 1,
+            id: (1 << 40) | 6,
+            parent: (1 << 40) | 5,
         };
         assert_eq!(
             span.to_json_line(),
-            "{\"span\":\"extend.tile\",\"pair\":2,\"strand\":1,\"seq\":9,\
-             \"start_us\":10,\"dur_us\":20,\"items\":4,\"cells\":512}"
+            format!(
+                "{{\"span\":\"extend.tile\",\"pair\":2,\"strand\":1,\"seq\":9,\
+                 \"start_us\":10,\"dur_us\":20,\"items\":4,\"cells\":512,\
+                 \"tid\":1,\"id\":{},\"parent\":{}}}",
+                (1u64 << 40) | 6,
+                (1u64 << 40) | 5
+            )
         );
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_parent_links_hold() {
+        let rec = TraceRecorder::new();
+        let obs = Obs::new(&rec).with_pair(0);
+        let mut buf = obs.buffer();
+        let lane_timer = buf.start();
+        let lane_id = buf.alloc_id();
+        assert_ne!(lane_id, NO_SPAN);
+        buf.set_parent(lane_id);
+        let t = buf.start();
+        buf.finish(t, SpanName::ExtendTile, STRAND_FWD, 0, 1, 10);
+        let t = buf.start();
+        buf.finish(t, SpanName::ExtendTile, STRAND_FWD, 1, 2, 20);
+        buf.set_parent(NO_SPAN);
+        buf.finish_with_id(lane_timer, lane_id, SpanName::Extend, STRAND_FWD, 0, 2, 30);
+        buf.flush();
+
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "span ids must be unique");
+        let lane = spans.iter().find(|s| s.name == SpanName::Extend).unwrap();
+        assert_eq!(lane.id, lane_id);
+        assert_eq!(lane.parent, NO_SPAN);
+        for tile in spans.iter().filter(|s| s.name == SpanName::ExtendTile) {
+            assert_eq!(tile.parent, lane_id);
+            assert_eq!(tile.tid, lane.tid);
+        }
     }
 
     #[test]
@@ -755,18 +972,28 @@ mod tests {
         let mut out = Vec::new();
         rec.write_trace(&mut out).expect("write to Vec");
         let text = String::from_utf8(out).expect("utf8");
+        let mut schema = 0;
         let mut spans = 0;
+        let mut counters = 0;
         let mut hists = 0;
-        for line in text.lines() {
+        for (i, line) in text.lines().enumerate() {
             let value = crate::journal::json::parse(line).expect("valid JSON line");
-            if value.get("span").is_some() {
+            if let Some(v) = value.get("schema") {
+                assert_eq!(i, 0, "schema header must be the first line");
+                assert_eq!(v.as_int(), Some(TRACE_SCHEMA as i128));
+                schema += 1;
+            } else if value.get("span").is_some() {
                 spans += 1;
+            } else if value.get("counter").is_some() {
+                counters += 1;
             } else {
-                assert!(value.get("hist").is_some(), "line is span or hist");
+                assert!(value.get("hist").is_some(), "line is schema, span, counter or hist");
                 hists += 1;
             }
         }
+        assert_eq!(schema, 1);
         assert_eq!(spans, 1);
+        assert_eq!(counters, COUNTER_COUNT);
         assert_eq!(hists, HIST_COUNT);
     }
 }

@@ -289,6 +289,18 @@ pub fn align_many_observed(
     let plans: Vec<PairPlan> = joblist::build_joblist(&sketches, options.knn);
     let shared_index = MultiIndex::new(scaled.clone(), genomes, options.threads);
 
+    // Announce the matrix-wide chromosome-pair total once, up front, so
+    // a progress meter shows run-level completion; the per-pair
+    // pipelines get a muted handle below so their own per-run totals
+    // cannot clobber it.
+    let total_chrom_pairs: u64 = plans
+        .iter()
+        .filter(|p| p.scheduled)
+        .map(|p| (genomes[p.a].chromosomes().len() * genomes[p.b].chromosomes().len()) as u64)
+        .sum();
+    obs.set_total_pairs(total_chrom_pairs);
+    let pair_obs = obs.with_muted_totals();
+
     let mut report = ManyReport {
         genomes: genomes
             .iter()
@@ -339,7 +351,8 @@ pub fn align_many_observed(
         } else {
             None
         };
-        let inner = align_assemblies_provided(&scaled, target, query, &align_options, obs, tables)?;
+        let inner =
+            align_assemblies_provided(&scaled, target, query, &align_options, pair_obs, tables)?;
 
         for outcome in &inner.pairs {
             match &outcome.outcome {

@@ -199,8 +199,16 @@ pub(crate) fn extend_anchors_from(
 ) {
     let ext_start = Instant::now();
     obs.add(Counter::AnchorsPassed, anchors.len() as u64);
+    let anchors_in = anchors.len() as u64;
     let scode = strand_code(strand);
     let mut buf = obs.buffer();
+    // Lane-level `extend` span enclosing the whole commit loop; its id
+    // is allocated up front so each `extend.tile` child can carry it
+    // as `parent` before the lane span itself finishes.
+    let lane_timer = buf.start();
+    let lane_id = buf.alloc_id();
+    buf.set_parent(lane_id);
+    let mut lane_cells = 0u64;
     // Extend best-scoring anchors first so absorption favours strong
     // alignments — and so budget truncation drops the weakest work.
     anchors.sort_by_key(|a| std::cmp::Reverse(a.filter_score));
@@ -235,7 +243,8 @@ pub(crate) fn extend_anchors_from(
         let Some(ext) = fetch(seq, anchor) else {
             continue;
         };
-        obs.extension_anchor(ext.stats.tiles, ext.stats.cells);
+        obs.extension_anchor(ext.stats.tiles, ext.stats.cells, ext.stats.rows);
+        lane_cells += ext.stats.cells;
         buf.finish(
             anchor_timer,
             SpanName::ExtendTile,
@@ -256,6 +265,8 @@ pub(crate) fn extend_anchors_from(
             }
         }
     }
+    buf.set_parent(crate::obs::NO_SPAN);
+    buf.finish_with_id(lane_timer, lane_id, SpanName::Extend, scode, 0, anchors_in, lane_cells);
     obs.add(Counter::AlignmentsKept, kept.len() as u64);
     report.counters.alignments_kept += kept.len() as u64;
     report

@@ -174,6 +174,38 @@ pub struct ModeledCycles {
     pub gactx_cycles: u64,
 }
 
+/// Replays a workload summary extracted from a trace through the
+/// accelerator cycle models — the entry point behind `wga profile`'s
+/// modeled-vs-measured drift engine.
+///
+/// The five integers are exactly what a schema-2 trace carries: `seeds`
+/// from the `seed` spans' `cells`, `filter_tiles` from the
+/// `filter.tiles` counter, `extension_tiles` from the `extend.tile`
+/// spans' `items`, and `extension_cells`/`extension_rows` from the
+/// `extend.cells`/`extend.rows` counters. Returns the assembled
+/// [`Workload`] alongside its [`ModeledCycles`] so callers can report
+/// both; the cycle figures are identical to what the run itself would
+/// have recorded as `hwsim.bsw`/`hwsim.gactx` spans, making any gap a
+/// pure model/extraction drift signal (never timing noise).
+pub fn replay_trace_workload(
+    seeds: u64,
+    filter_tiles: u64,
+    extension_tiles: u64,
+    extension_cells: u64,
+    extension_rows: u64,
+    acc: &AcceleratorConfig,
+) -> (Workload, ModeledCycles) {
+    let workload = Workload {
+        seeds,
+        filter_tiles,
+        extension_tiles,
+        extension_cells,
+        extension_rows,
+    };
+    let modeled = modeled_cycles(&workload, acc);
+    (workload, modeled)
+}
+
 /// Rolls a measured [`Workload`] through the accelerator cycle models.
 pub fn modeled_cycles(workload: &Workload, acc: &AcceleratorConfig) -> ModeledCycles {
     ModeledCycles {
@@ -286,6 +318,22 @@ mod tests {
         );
         assert!(m.bsw_cycles > 0 && m.gactx_cycles > 0);
         assert_eq!(modeled_cycles(&Workload::default(), &acc), ModeledCycles::default());
+    }
+
+    #[test]
+    fn replay_matches_direct_model() {
+        let w = sample_workload();
+        let acc = AcceleratorConfig::fpga();
+        let (replayed_w, replayed) = replay_trace_workload(
+            w.seeds,
+            w.filter_tiles,
+            w.extension_tiles,
+            w.extension_cells,
+            w.extension_rows,
+            &acc,
+        );
+        assert_eq!(replayed_w, w);
+        assert_eq!(replayed, modeled_cycles(&w, &acc));
     }
 
     #[test]

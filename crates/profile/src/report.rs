@@ -1,0 +1,311 @@
+//! The `profile_report.json` artifact and its human rendering.
+//!
+//! The JSON is handwritten with a fixed field order and integer-only
+//! values (shares and drift are centi-percent, durations are
+//! microseconds, cycles are cycles), so the same trace always produces
+//! byte-identical output — that is what lets CI diff reports across
+//! commits. The human table is a rendering of the same numbers.
+
+use crate::analyze::{Attribution, TopSpan};
+use crate::drift::Drift;
+use crate::trace::TraceFile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version of the report layout itself (bump on field changes).
+pub const PROFILE_SCHEMA: u64 = 1;
+
+/// Everything `wga profile report` derives from one trace.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Schema the trace declared.
+    pub trace_schema: u64,
+    /// Total span lines in the trace.
+    pub total_spans: u64,
+    /// Funnel counters, by wire name.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-stage / per-worker / critical-path attribution.
+    pub attr: Attribution,
+    /// Modeled-vs-measured drift scores.
+    pub drift: Drift,
+}
+
+/// Formats centi-percent as `12.34%`.
+pub fn fmt_centi(centi: u64) -> String {
+    format!("{}.{:02}%", centi / 100, centi % 100)
+}
+
+fn push_top(out: &mut String, key: &str, entries: &[TopSpan]) {
+    let _ = write!(out, "\"{key}\":[");
+    for (i, t) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"pair\":{},\"strand\":{},\"seq\":{},\"dur_us\":{},\"items\":{},\"cells\":{}}}",
+            t.pair, t.strand, t.seq, t.dur_us, t.items, t.cells
+        );
+    }
+    out.push(']');
+}
+
+impl ProfileReport {
+    /// Builds the report for `trace`, keeping `top_k` entries in the
+    /// slowest-span listings.
+    pub fn build(trace: &TraceFile, top_k: usize) -> ProfileReport {
+        ProfileReport {
+            trace_schema: trace.schema,
+            total_spans: trace.spans.len() as u64,
+            counters: trace.counters.clone(),
+            attr: Attribution::compute(trace, top_k),
+            drift: Drift::compute(trace),
+        }
+    }
+
+    /// Serialises the report: fixed field order, integers only, one
+    /// top-level key per line. Byte-identical for identical traces.
+    pub fn to_json(&self) -> String {
+        let a = &self.attr;
+        let d = &self.drift;
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        let _ = writeln!(out, "\"profile_schema\":{PROFILE_SCHEMA},");
+        let _ = writeln!(out, "\"trace_schema\":{},", self.trace_schema);
+        let _ = writeln!(out, "\"total_spans\":{},", self.total_spans);
+        let _ = writeln!(
+            out,
+            "\"workload\":{{\"seeds\":{},\"filter_tiles\":{},\"extension_tiles\":{},\"extension_cells\":{},\"extension_rows\":{}}},",
+            d.workload.seeds,
+            d.workload.filter_tiles,
+            d.workload.extension_tiles,
+            d.workload.extension_cells,
+            d.workload.extension_rows
+        );
+        out.push_str("\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push_str("},\n");
+        out.push_str("\"stages\":[");
+        for (i, s) in a.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":\"{}\",\"spans\":{},\"total_us\":{},\"items\":{},\"cells\":{}}}",
+                s.stage, s.spans, s.total_us, s.items, s.cells
+            );
+        }
+        out.push_str("],\n");
+        let _ = writeln!(
+            out,
+            "\"shares\":{{\"seed_centi\":{},\"filter_centi\":{},\"extend_centi\":{}}},",
+            a.seed_share_centi, a.filter_share_centi, a.extend_share_centi
+        );
+        out.push_str("\"workers\":[");
+        for (i, w) in a.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tid\":{},\"spans\":{},\"busy_us\":{},\"wait_us\":{},\"idle_us\":{}}}",
+                w.tid, w.spans, w.busy_us, w.wait_us, w.idle_us
+            );
+        }
+        out.push_str("],\n");
+        // A pairless trace reports pair u64::MAX with all-zero legs.
+        let (cp_pair, cp_seed, cp_filter, cp_extend, cp_total) = match &a.critical {
+            Some(c) => (c.pair, c.seed_us, c.filter_us, c.extend_us, c.total_us),
+            None => (u64::MAX, 0, 0, 0, 0),
+        };
+        let _ = writeln!(
+            out,
+            "\"critical_path\":{{\"pairs\":{},\"pair\":{cp_pair},\"seed_us\":{cp_seed},\"filter_us\":{cp_filter},\"extend_us\":{cp_extend},\"total_us\":{cp_total},\"wall_us\":{}}},",
+            a.pairs, a.wall_us
+        );
+        push_top(&mut out, "top_filter_batches", &a.top_filter_batches);
+        out.push_str(",\n");
+        push_top(&mut out, "top_extend_tiles", &a.top_extend_tiles);
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "\"speculation\":{{\"spec_discard\":{},\"extended\":{},\"discard_centi\":{}}},",
+            a.spec_discard, a.extended_tiles, a.discard_centi
+        );
+        let _ = writeln!(out, "\"faults\":{{\"spans\":{}}},", a.fault_spans);
+        let _ = writeln!(
+            out,
+            "\"drift\":{{\"bsw\":{{\"present\":{},\"recorded_cycles\":{},\"replayed_cycles\":{},\"drift_centi\":{}}},\"gactx\":{{\"present\":{},\"recorded_cycles\":{},\"replayed_cycles\":{},\"drift_centi\":{}}},\"filter_time_offmedian_centi\":{},\"filter_cells_offmedian_centi\":{}}}",
+            u64::from(d.bsw.present),
+            d.bsw.recorded_cycles,
+            d.bsw.replayed_cycles,
+            d.bsw.drift_centi,
+            u64::from(d.gactx.present),
+            d.gactx.recorded_cycles,
+            d.gactx.replayed_cycles,
+            d.gactx.drift_centi,
+            d.filter_time_offmedian_centi,
+            d.filter_cells_offmedian_centi
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the human-readable table `wga profile report` prints.
+    pub fn render_table(&self) -> String {
+        let a = &self.attr;
+        let d = &self.drift;
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(
+            out,
+            "trace: schema {}, {} spans, {} pairs, wall {} us",
+            self.trace_schema, self.total_spans, a.pairs, a.wall_us
+        );
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>7} {:>12} {:>12} {:>16}",
+            "stage", "spans", "total_us", "items", "cells"
+        );
+        for s in &a.stages {
+            if s.spans == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>7} {:>12} {:>12} {:>16}",
+                s.stage, s.spans, s.total_us, s.items, s.cells
+            );
+        }
+        let _ = writeln!(
+            out,
+            "shares: seed {}  filter {}  extend {}",
+            fmt_centi(a.seed_share_centi),
+            fmt_centi(a.filter_share_centi),
+            fmt_centi(a.extend_share_centi)
+        );
+        for w in &a.workers {
+            let _ = writeln!(
+                out,
+                "worker tid {:>3}: {:>5} spans, busy {} us, queue-wait {} us, idle {} us",
+                w.tid, w.spans, w.busy_us, w.wait_us, w.idle_us
+            );
+        }
+        if let Some(c) = &a.critical {
+            let _ = writeln!(
+                out,
+                "critical path: pair {} — seed {} us + slowest filter batch {} us + extend {} us = {} us",
+                c.pair, c.seed_us, c.filter_us, c.extend_us, c.total_us
+            );
+        }
+        if !a.top_filter_batches.is_empty() {
+            let _ = writeln!(out, "slowest filter batches:");
+            for t in &a.top_filter_batches {
+                let _ = writeln!(
+                    out,
+                    "  pair {:>4} strand {} seq {:>4}: {} us ({} items, {} cells)",
+                    t.pair, t.strand, t.seq, t.dur_us, t.items, t.cells
+                );
+            }
+        }
+        if !a.top_extend_tiles.is_empty() {
+            let _ = writeln!(out, "slowest extension tiles:");
+            for t in &a.top_extend_tiles {
+                let _ = writeln!(
+                    out,
+                    "  pair {:>4} strand {} seq {:>4}: {} us ({} tiles, {} cells)",
+                    t.pair, t.strand, t.seq, t.dur_us, t.items, t.cells
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "speculation: {} discarded vs {} committed extensions ({} of extension work)",
+            a.spec_discard,
+            a.extended_tiles,
+            fmt_centi(a.discard_centi)
+        );
+        if a.fault_spans > 0 {
+            let _ = writeln!(out, "faults: {} injected-fault spans", a.fault_spans);
+        }
+        for (name, s) in [("bsw", &d.bsw), ("gactx", &d.gactx)] {
+            if s.present {
+                let _ = writeln!(
+                    out,
+                    "drift {name}: recorded {} cycles, replayed {} cycles — {}",
+                    s.recorded_cycles,
+                    s.replayed_cycles,
+                    fmt_centi(s.drift_centi)
+                );
+            } else {
+                let _ = writeln!(out, "drift {name}: no hwsim span in trace");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "filter shape: off-median time {}  off-median cells {}",
+            fmt_centi(d.filter_time_offmedian_centi),
+            fmt_centi(d.filter_cells_offmedian_centi)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        "{\"schema\":2}\n",
+        "{\"span\":\"seed\",\"pair\":0,\"strand\":0,\"seq\":0,\"start_us\":0,\"dur_us\":10,\"items\":3,\"cells\":100,\"tid\":1,\"id\":5,\"parent\":0}\n",
+        "{\"span\":\"filter.batch\",\"pair\":0,\"strand\":0,\"seq\":0,\"start_us\":10,\"dur_us\":20,\"items\":4,\"cells\":400,\"tid\":1,\"id\":6,\"parent\":0}\n",
+        "{\"counter\":\"filter.tiles\",\"value\":4}\n",
+        "{\"counter\":\"pairs.done\",\"value\":1}\n",
+    );
+
+    #[test]
+    fn json_is_byte_stable_and_integer_only() {
+        let t = TraceFile::parse(TRACE).unwrap();
+        let r1 = ProfileReport::build(&t, 5).to_json();
+        let r2 = ProfileReport::build(&TraceFile::parse(TRACE).unwrap(), 5).to_json();
+        assert_eq!(r1, r2, "same trace must yield byte-identical reports");
+        // Integer-only: no digit.digit anywhere (stage names like
+        // "seed.table" legitimately contain dots between letters).
+        let bytes = r1.as_bytes();
+        for i in 1..bytes.len().saturating_sub(1) {
+            if bytes[i] == b'.' {
+                assert!(
+                    !(bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit()),
+                    "float-looking value in report JSON near byte {i}"
+                );
+            }
+        }
+        assert!(r1.contains("\"profile_schema\":1"));
+        assert!(r1.contains("\"trace_schema\":2"));
+        // Valid JSON by the crate's own parser (single document).
+        let joined = r1.replace('\n', "");
+        wga_core::journal::json::parse(&joined).expect("report is valid JSON");
+    }
+
+    #[test]
+    fn table_mentions_key_sections() {
+        let t = TraceFile::parse(TRACE).unwrap();
+        let table = ProfileReport::build(&t, 5).render_table();
+        assert!(table.contains("shares:"));
+        assert!(table.contains("drift bsw: no hwsim span in trace"));
+        assert!(table.contains("filter.batch"));
+    }
+
+    #[test]
+    fn centi_formatting_is_fixed_width_fraction() {
+        assert_eq!(fmt_centi(0), "0.00%");
+        assert_eq!(fmt_centi(5), "0.05%");
+        assert_eq!(fmt_centi(1234), "12.34%");
+        assert_eq!(fmt_centi(10_000), "100.00%");
+    }
+}

@@ -72,6 +72,32 @@
 //!     rebuilds seed tables per pair instead of sharing (same bytes
 //!     out; exists to test the equivalence). Output is byte-identical
 //!     across executors, thread counts, shard sizes and index modes.
+//!     --progress keeps a throttled matrix-wide status line on stderr
+//!     (chromosome pairs done across all genome pairs, ETA).
+//!
+//! wga profile report <trace.jsonl> [--json out.json] [--baseline out.json]
+//!                    [--top K] [--max-drift-centi N]
+//!     Analyse a --trace-out artifact: per-stage time attribution,
+//!     busy/queue-wait/idle per worker, a critical-path estimate
+//!     through seed -> filter -> extend, the K slowest filter batches
+//!     and extension tiles, speculation-discard and fault rollups, and
+//!     the modeled-vs-measured drift score (the trace-extracted
+//!     workload replayed through hwsim's cycle models vs the hwsim.*
+//!     spans the run recorded; integer centi-percent). --json (or
+//!     --baseline, for capturing a reference) writes the deterministic,
+//!     integer-only profile_report.json atomically; the same trace
+//!     always produces byte-identical JSON. --max-drift-centi N exits
+//!     nonzero when any stage drifts above N centi-percent — and also
+//!     when the trace carries no hwsim spans at all, so a dropped span
+//!     cannot silently disable the gate.
+//!
+//! wga profile diff <old.json> <new.json> [--max-share-regression-centi N]
+//!                  [--max-drift-regression-centi N]
+//!     Compare two profile_report.json artifacts and exit nonzero on
+//!     regression: a stage's share of pipeline time growing by more
+//!     than the share threshold (default 500 = 5 points), a drift
+//!     score growing by more than the drift threshold (default 100 =
+//!     1 point), or a drift signal disappearing outright.
 //! ```
 
 use darwin_wga::chain::chainer::chain_alignments;
@@ -81,7 +107,7 @@ use darwin_wga::core::durable;
 use darwin_wga::core::error::WgaError;
 use darwin_wga::core::faultsim::{FaultInjector, FaultPlan, Hook, PAIRLESS};
 use darwin_wga::core::genome_pipeline::{align_assemblies_observed, AlignOptions};
-use darwin_wga::core::obs::{Obs, ProgressMeter, SpanName, TraceRecorder, NO_PAIR, STRAND_NA};
+use darwin_wga::core::obs::{Obs, ProgressMeter, SpanName, TraceRecorder, STRAND_NA};
 use darwin_wga::core::report::RunOutcome;
 use darwin_wga::core::supervise::{self, RetryPolicy};
 use darwin_wga::core::{config::WgaParams, maf};
@@ -102,6 +128,7 @@ fn main() -> ExitCode {
         Some("align") => cmd_align(&args[1..]),
         Some("exons") => cmd_exons(&args[1..]),
         Some("many") => cmd_many(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             Ok(())
@@ -134,7 +161,12 @@ usage:
            [--baseline] [--threads N] [--executor barrier|dataflow]
            [--queue-depth N] [--filter-engine scalar|batched|simd]
            [--shard-size N] [--checkpoint dir] [--fault-plan plan.json]
-           [--max-retries N] [--stall-timeout-ms N]
+           [--max-retries N] [--stall-timeout-ms N] [--progress]
+  wga profile report <trace.jsonl> [--json out.json] [--baseline out.json]
+                     [--top K] [--max-drift-centi N]
+  wga profile diff <old.json> <new.json>
+                   [--max-share-regression-centi N]
+                   [--max-drift-regression-centi N]
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -588,28 +620,12 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
         // written.
         let acc = hwsim::AcceleratorConfig::fpga();
         let modeled = hwsim::perf::modeled_cycles(&report.workload, &acc);
-        let mut buf = obs.buffer();
-        let bsw_timer = buf.start();
-        buf.finish_for_pair(
-            bsw_timer,
-            SpanName::HwsimBsw,
-            NO_PAIR,
-            STRAND_NA,
-            0,
+        obs.hwsim_spans(
             modeled.bsw_tiles,
             modeled.bsw_cycles,
-        );
-        let gactx_timer = buf.start();
-        buf.finish_for_pair(
-            gactx_timer,
-            SpanName::HwsimGactx,
-            NO_PAIR,
-            STRAND_NA,
-            0,
             modeled.gactx_tiles,
             modeled.gactx_cycles,
         );
-        buf.flush();
         if let Some(path) = trace_out.as_ref() {
             let mut buf: Vec<u8> = Vec::new();
             rec.write_trace(&mut buf).map_err(|e| format!("{path}: {e}"))?;
@@ -625,6 +641,7 @@ fn cmd_many(args: &[String]) -> Result<(), String> {
 
     let mut args = args.to_vec();
     let baseline = take_flag(&mut args, "--baseline");
+    let progress = take_flag(&mut args, "--progress");
     let per_pair_index = take_flag(&mut args, "--per-pair-index");
     let threads: usize = parse_opt(&mut args, "--threads", 1)?;
     let executor: ExecutorKind = parse_opt(&mut args, "--executor", ExecutorKind::Barrier)?;
@@ -691,8 +708,24 @@ fn cmd_many(args: &[String]) -> Result<(), String> {
         knn.map_or("all".to_string(), |k| k.to_string()),
     );
 
+    // --progress runs the whole matrix under a trace recorder: the
+    // orchestrator announces the grand chromosome-pair total up front
+    // and the meter renders pairs-done / ETA across genome pairs.
+    let recorder: Option<Arc<TraceRecorder>> = progress.then(TraceRecorder::new).map(Arc::new);
+    let obs = match &recorder {
+        Some(rec) => Obs::new(rec.as_ref()),
+        None => Obs::off(),
+    };
+    let meter = recorder
+        .clone()
+        .map(|rec| ProgressMeter::start(rec, std::time::Duration::from_millis(200)));
+
     let start = std::time::Instant::now();
-    let report = pangenome::align_many(&params, &genomes, &options).map_err(|e| e.to_string())?;
+    let result = pangenome::align_many_observed(&params, &genomes, &options, obs);
+    if let Some(meter) = meter {
+        meter.finish();
+    }
+    let report = result.map_err(|e| e.to_string())?;
     let wall = start.elapsed();
 
     println!("== many-genome summary");
@@ -716,6 +749,87 @@ fn cmd_many(args: &[String]) -> Result<(), String> {
         println!("PAF written to {path}");
     }
     Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use darwin_wga::profile::{diff as pdiff, ProfileReport, TraceFile};
+
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let mut args = args[1..].to_vec();
+            let json_out = take_opt(&mut args, "--json")?;
+            let baseline_out = take_opt(&mut args, "--baseline")?;
+            let top: usize = parse_opt(&mut args, "--top", 5)?;
+            let max_drift: Option<u64> = take_opt(&mut args, "--max-drift-centi")?
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("invalid value for --max-drift-centi: {v}"))
+                })
+                .transpose()?;
+            let [trace_path] = args.as_slice() else {
+                return Err(format!("profile report needs one <trace.jsonl>\n{USAGE}"));
+            };
+
+            let file = File::open(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+            let trace = TraceFile::read(BufReader::new(file))
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            let report = ProfileReport::build(&trace, top);
+            print!("{}", report.render_table());
+            for path in [&json_out, &baseline_out].into_iter().flatten() {
+                durable::write_atomic(std::path::Path::new(path), report.to_json().as_bytes())
+                    .map_err(|e| e.to_string())?;
+                println!("profile report written to {path}");
+            }
+            if let Some(limit) = max_drift {
+                // No hwsim spans means no gate signal: fail loudly so a
+                // dropped span can't turn the CI gate into a no-op.
+                let worst = report.drift.max_gated_centi().ok_or_else(|| {
+                    format!("{trace_path}: no hwsim.* spans in trace; cannot gate drift")
+                })?;
+                if worst > limit {
+                    return Err(format!(
+                        "drift gate failed: worst stage drift {worst} centi-% exceeds --max-drift-centi {limit}"
+                    ));
+                }
+                println!("drift gate: worst stage drift {worst} centi-% within limit {limit}");
+            }
+            Ok(())
+        }
+        Some("diff") => {
+            let mut args = args[1..].to_vec();
+            let thresholds = pdiff::Thresholds {
+                share_regression_centi: parse_opt(
+                    &mut args,
+                    "--max-share-regression-centi",
+                    pdiff::Thresholds::default().share_regression_centi,
+                )?,
+                drift_regression_centi: parse_opt(
+                    &mut args,
+                    "--max-drift-regression-centi",
+                    pdiff::Thresholds::default().drift_regression_centi,
+                )?,
+            };
+            let [old_path, new_path] = args.as_slice() else {
+                return Err(format!("profile diff needs <old.json> <new.json>\n{USAGE}"));
+            };
+            let load = |path: &str| -> Result<pdiff::ReportSummary, String> {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                pdiff::ReportSummary::from_json(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            let outcome = pdiff::diff(&load(old_path)?, &load(new_path)?, &thresholds);
+            print!("{}", outcome.render());
+            if outcome.is_pass() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "profile diff found {} regression(s)",
+                    outcome.regressions.len()
+                ))
+            }
+        }
+        _ => Err(format!("profile needs a 'report' or 'diff' subcommand\n{USAGE}")),
+    }
 }
 
 /// Writes one output artifact atomically under supervision: the write is

@@ -15,6 +15,7 @@
 //! | [`hwsim`] | Systolic-array / FPGA / ASIC / DRAM cycle+power models |
 //! | [`protein`] | Translated (TBLASTX-like) search — the paper's §IX future work |
 //! | [`core`] | The Darwin-WGA pipeline and the LASTZ-like baseline |
+//! | [`profile`] | Trace analysis: attribution, critical path, modeled-vs-measured drift |
 //!
 //! # Quick start
 //!
@@ -40,3 +41,5 @@ pub use protein;
 pub use seed;
 /// The Darwin-WGA pipeline crate (`wga-core`).
 pub use wga_core as core;
+/// Trace analysis and drift scoring for `--trace-out` artifacts (`wga-profile`).
+pub use wga_profile as profile;

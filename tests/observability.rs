@@ -15,12 +15,13 @@
 //!    [`ExecutorMetrics`] whose JSON round-trips through the parser and
 //!    is tagged with the executor that produced it.
 
-use darwin_wga::core::config::WgaParams;
+use darwin_wga::core::config::{FilterEngineKind, WgaParams};
 use darwin_wga::core::dataflow::ExecutorKind;
 use darwin_wga::core::genome_pipeline::{align_assemblies_observed, AlignOptions};
 use darwin_wga::core::journal::json::{self, Json};
 use darwin_wga::core::obs::{
-    Counter, HistKind, Log2Histogram, Obs, SpanName, TraceRecorder, STRAND_NA,
+    Counter, HistKind, Log2Histogram, Obs, SpanName, TraceRecorder, NO_SPAN, STRAND_NA,
+    TRACE_SCHEMA,
 };
 use darwin_wga::genome::assembly::Assembly;
 use std::fs;
@@ -52,33 +53,46 @@ fn int_field(obj: &Json, key: &str) -> i128 {
         .unwrap_or_else(|| panic!("field {key:?} is not an integer in {obj:?}"))
 }
 
-/// Recorder on vs recorder off: same bytes, every executor, 1 and 3
-/// threads — the "provably inert" acceptance gate.
+/// Recorder on vs recorder off: same bytes on every executor × filter
+/// engine × thread count — the "provably inert" acceptance gate. The
+/// schema-2 span fields (tid/id/parent, extend lane spans, queue-wait
+/// spans) must leave the canonical report untouched too.
 #[test]
 fn golden_report_is_identical_with_recorder_on() {
     let (target, query, expected) = golden_inputs();
-    let params = WgaParams::darwin_wga();
-    for executor in [ExecutorKind::Barrier, ExecutorKind::Dataflow] {
-        for threads in [1usize, 3] {
-            let options = AlignOptions {
-                threads,
-                executor,
-                ..AlignOptions::default()
-            };
-            let recorder = TraceRecorder::new();
-            let observed =
-                align_assemblies_observed(&params, &target, &query, &options, Obs::new(&recorder))
-                    .expect("observed run succeeds");
-            assert_eq!(
-                observed.canonical_text(),
-                expected,
-                "{executor:?}/{threads}t: recorder changed the report"
-            );
-            // The recorder actually saw the run, i.e. the comparison
-            // above exercised live instrumentation, not a no-op.
-            assert_eq!(recorder.counter(Counter::PairsDone), 4);
-            assert!(recorder.counter(Counter::FilterTiles) > 0);
-            assert!(!recorder.spans().is_empty());
+    for engine in [
+        FilterEngineKind::Scalar,
+        FilterEngineKind::Batched,
+        FilterEngineKind::Simd,
+    ] {
+        let params = WgaParams::darwin_wga().with_filter_engine(engine);
+        for executor in [ExecutorKind::Barrier, ExecutorKind::Dataflow] {
+            for threads in [1usize, 3] {
+                let options = AlignOptions {
+                    threads,
+                    executor,
+                    ..AlignOptions::default()
+                };
+                let recorder = TraceRecorder::new();
+                let observed = align_assemblies_observed(
+                    &params,
+                    &target,
+                    &query,
+                    &options,
+                    Obs::new(&recorder),
+                )
+                .expect("observed run succeeds");
+                assert_eq!(
+                    observed.canonical_text(),
+                    expected,
+                    "{executor:?}/{engine:?}/{threads}t: recorder changed the report"
+                );
+                // The recorder actually saw the run, i.e. the comparison
+                // above exercised live instrumentation, not a no-op.
+                assert_eq!(recorder.counter(Counter::PairsDone), 4);
+                assert!(recorder.counter(Counter::FilterTiles) > 0);
+                assert!(!recorder.spans().is_empty());
+            }
         }
     }
 }
@@ -111,15 +125,27 @@ fn trace_jsonl_matches_schema() {
     let mut seen_spans = Vec::new();
     let mut seen_hists = Vec::new();
     let mut seen_counters = Vec::new();
-    for line in text.lines() {
+    let mut seen_schema = 0usize;
+    for (idx, line) in text.lines().enumerate() {
         let doc = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
-        if let Some(name) = doc.get("span").and_then(Json::as_str) {
+        if let Some(version) = doc.get("schema") {
+            assert_eq!(idx, 0, "schema header must be the first line");
+            assert_eq!(version.as_int(), Some(TRACE_SCHEMA as i128));
+            seen_schema += 1;
+        } else if let Some(name) = doc.get("span").and_then(Json::as_str) {
             assert!(known.contains(&name), "unknown span name {name:?}");
-            for key in ["pair", "strand", "seq", "start_us", "dur_us", "items", "cells"] {
+            for key in [
+                "pair", "strand", "seq", "start_us", "dur_us", "items", "cells", "tid", "id",
+                "parent",
+            ] {
                 assert!(int_field(&doc, key) >= 0, "{name}: negative {key}");
             }
             let strand = int_field(&doc, "strand");
             assert!((0..=2).contains(&strand), "strand code out of range");
+            // Schema 2: every span names its recording thread and a
+            // nonzero process-unique id.
+            assert!(int_field(&doc, "tid") >= 1, "{name}: unassigned tid");
+            assert!(int_field(&doc, "id") > 0, "{name}: id must never be NO_SPAN");
             seen_spans.push(name.to_string());
         } else if let Some(name) = doc.get("counter").and_then(Json::as_str) {
             assert!(known_counters.contains(&name), "unknown counter {name:?}");
@@ -143,9 +169,10 @@ fn trace_jsonl_matches_schema() {
             assert_eq!(sum, total, "{name}: bucket counts must sum to total");
             seen_hists.push(name.to_string());
         } else {
-            panic!("line is neither a span, a counter, nor a histogram: {line:?}");
+            panic!("line is neither a schema header, a span, a counter, nor a histogram: {line:?}");
         }
     }
+    assert_eq!(seen_schema, 1, "exactly one schema header");
     // Exactly one line per counter, including `shard.spec_discard`.
     for required in &known_counters {
         assert_eq!(
@@ -154,8 +181,9 @@ fn trace_jsonl_matches_schema() {
             "expected exactly one counter line for {required:?}"
         );
     }
-    // The serial golden run must produce the core span taxonomy…
-    for required in ["seed.table", "seed", "filter.batch", "extend.tile"] {
+    // The serial golden run must produce the core span taxonomy,
+    // including the schema-2 lane-level `extend` span…
+    for required in ["seed.table", "seed", "filter.batch", "extend.tile", "extend"] {
         assert!(
             seen_spans.iter().any(|s| s == required),
             "required span {required:?} missing from trace"
@@ -275,4 +303,53 @@ fn span_line_is_byte_stable() {
     assert_eq!(int_field(&doc, "seq"), 7);
     assert_eq!(int_field(&doc, "items"), 2);
     assert_eq!(int_field(&doc, "cells"), 99);
+    // Schema-2 fields ride on every line: a real thread id, a nonzero
+    // span id, and NO_SPAN parent for a top-level span.
+    assert!(int_field(&doc, "tid") >= 1);
+    assert!(int_field(&doc, "id") > 0);
+    assert_eq!(int_field(&doc, "parent"), NO_SPAN as i128);
+}
+
+/// A threaded dataflow run records `queue.wait` spans on the known
+/// queue codes, and every `extend.tile` span is parented under an
+/// `extend` lane span recorded by the same thread.
+#[test]
+fn dataflow_run_records_queue_waits_and_extend_lanes() {
+    let (target, query, _) = golden_inputs();
+    let recorder = TraceRecorder::new();
+    align_assemblies_observed(
+        &WgaParams::darwin_wga(),
+        &target,
+        &query,
+        &AlignOptions {
+            threads: 3,
+            executor: ExecutorKind::Dataflow,
+            ..AlignOptions::default()
+        },
+        Obs::new(&recorder),
+    )
+    .expect("run succeeds");
+    let spans = recorder.spans();
+
+    let waits: Vec<_> = spans.iter().filter(|s| s.name == SpanName::QueueWait).collect();
+    assert!(!waits.is_empty(), "dataflow run must record queue waits");
+    for w in &waits {
+        assert!(w.seq <= 3, "queue code out of range: {}", w.seq);
+    }
+
+    let lanes: std::collections::HashMap<u64, u64> = spans
+        .iter()
+        .filter(|s| s.name == SpanName::Extend)
+        .map(|s| (s.id, s.tid))
+        .collect();
+    assert!(!lanes.is_empty(), "extension work must record lane spans");
+    let mut tiles = 0usize;
+    for t in spans.iter().filter(|s| s.name == SpanName::ExtendTile) {
+        tiles += 1;
+        let lane_tid = lanes
+            .get(&t.parent)
+            .unwrap_or_else(|| panic!("extend.tile parent {} is not a lane span id", t.parent));
+        assert_eq!(*lane_tid, t.tid, "tile and its lane recorded by different threads");
+    }
+    assert!(tiles > 0, "golden run must extend at least one anchor");
 }
