@@ -299,7 +299,7 @@ pub fn xdrop_tile_with_mode(
             break;
         }
         // Trim trailing dead cells (nothing below can use them).
-        while v.len() > 1 && *v.last().expect("nonempty") <= NEG_INF / 2 {
+        while v.len() > 1 && matches!(v.last(), Some(&x) if x <= NEG_INF / 2) {
             v.pop();
             f.pop();
             ptrs.pop();
@@ -384,7 +384,10 @@ fn traceback(rows: &[Row], max_i: usize, max_j: usize, target: &[Base], query: &
                 }
                 ptr::LEFT => state = 2,
                 ptr::UP => state = 3,
-                _ => unreachable!(),
+                // DIR_MASK is two bits; STOP/DIAG/LEFT/UP cover all four
+                // values, so any other pattern means a corrupt pointer
+                // table — stop the traceback rather than crash.
+                _ => break,
             },
             2 => {
                 ops_rev.push(AlignOp::Delete);
@@ -402,7 +405,9 @@ fn traceback(rows: &[Row], max_i: usize, max_j: usize, target: &[Base], query: &
                     state = 0;
                 }
             }
-            _ => unreachable!(),
+            // `state` is only ever assigned 0, 2 or 3 above; treat any
+            // other value as a finished traceback.
+            _ => break,
         }
     }
     let mut cigar = Cigar::new();

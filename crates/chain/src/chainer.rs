@@ -39,7 +39,7 @@ impl Chain {
     /// Target span `[start, end)` covered by the chain.
     pub fn target_span(&self, alignments: &[Alignment]) -> (usize, usize) {
         let first = &alignments[self.members[0]];
-        let last = &alignments[*self.members.last().expect("nonempty")];
+        let last = &alignments[self.members.last().copied().unwrap_or(self.members[0])];
         (first.target_start, last.target_end)
     }
 }

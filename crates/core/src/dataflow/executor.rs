@@ -726,7 +726,16 @@ fn produce<'a>(
                 }
                 break 'pair;
             }
-            let table = row_tables[ti].as_ref().expect("table built or failed above");
+            let Some(table) = row_tables[ti].as_ref() else {
+                let done = PairDone {
+                    pair_id,
+                    result: Err("seed table missing after build".into()),
+                };
+                if done_q.push(done).is_err() {
+                    return;
+                }
+                break 'pair;
+            };
 
             let pair_start = Instant::now();
             let busy = Instant::now();
@@ -1094,11 +1103,13 @@ fn deposit<'a>(
     lane.deposited += 1;
     let complete = job.lanes.iter().all(|l| l.deposited == l.batches.len());
     if complete {
-        let job = slot.take().expect("job present: just deposited into it");
-        drop(slot);
-        // Err only while a shutdown is racing us; the pair is then
-        // reported as dropped by the final assembly.
-        let _ = extend_q.push(job);
+        // The slot is still `Some`: we just deposited into it above.
+        if let Some(job) = slot.take() {
+            drop(slot);
+            // Err only while a shutdown is racing us; the pair is then
+            // reported as dropped by the final assembly.
+            let _ = extend_q.push(job);
+        }
     }
 }
 
@@ -1126,7 +1137,18 @@ fn extend_pair(
         let mut deadline_hit = false;
         let mut filter_time = lane.ctx_time;
         for (idx, slot) in lane.batches.iter_mut().enumerate() {
-            let batch = slot.take().expect("every batch deposited before dispatch");
+            let Some(batch) = slot.take() else {
+                // Every batch is deposited before a job is dispatched;
+                // an empty slot means accounting went wrong, so surface
+                // it as a failed batch instead of crashing the worker.
+                report.events.push(RunEvent::BatchFailed {
+                    stage: StageKind::Filtering,
+                    batch: idx,
+                    items: 0,
+                    message: "batch missing at extension".into(),
+                });
+                continue;
+            };
             match batch.failed {
                 Some(message) => report.events.push(RunEvent::BatchFailed {
                     stage: StageKind::Filtering,

@@ -239,8 +239,16 @@ pub fn align_assemblies(
     target: &Assembly,
     query: &Assembly,
 ) -> AssemblyReport {
-    align_assemblies_with(params, target, query, &AlignOptions::default())
-        .unwrap_or_else(|e| panic!("{e}"))
+    // With default options the only failure mode is degenerate
+    // parameters — a caller bug at this convenience entry point.
+    // `align_assemblies_with` is the typed-error path.
+    let result = align_assemblies_with(params, target, query, &AlignOptions::default());
+    assert!(
+        result.is_ok(),
+        "{}",
+        result.as_ref().err().map(|e| e.to_string()).unwrap_or_default()
+    );
+    result.unwrap_or_default()
 }
 
 /// Aligns two assemblies with fault tolerance, parallelism and optional

@@ -987,7 +987,15 @@ pub mod json {
                         }
                     }
                     None => return Err("unterminated string".into()),
-                    _ => unreachable!(),
+                    // The scan loop above stops only on `"`, `\` or
+                    // end-of-input, but a corrupt journal deserves an
+                    // error, not a crash.
+                    Some(other) => {
+                        return Err(format!(
+                            "unexpected byte {:#04x} in string at byte {}",
+                            other, self.pos
+                        ));
+                    }
                 }
             }
         }

@@ -48,7 +48,13 @@ impl WgaPipeline {
     /// [`WgaParams::validate`]); use [`WgaPipeline::try_new`] for a typed
     /// error instead.
     pub fn new(params: WgaParams) -> WgaPipeline {
-        WgaPipeline::try_new(params).unwrap_or_else(|e| panic!("{e}"))
+        let checked = params.validate();
+        assert!(
+            checked.is_ok(),
+            "{}",
+            checked.err().map(|e| e.to_string()).unwrap_or_default()
+        );
+        WgaPipeline { params }
     }
 
     /// Creates a pipeline, rejecting degenerate parameters with a typed

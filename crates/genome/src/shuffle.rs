@@ -88,8 +88,9 @@ fn shuffle_segment<R: Rng + ?Sized>(segment: &[Base], rng: &mut R, out: &mut Seq
         let mut rest = edges[v].clone();
         if let Some(fin) = final_edge[v] {
             // remove one instance of the chosen final edge
-            let pos = rest.iter().position(|&e| e == fin).expect("edge present");
-            rest.swap_remove(pos);
+            if let Some(pos) = rest.iter().position(|&e| e == fin) {
+                rest.swap_remove(pos);
+            }
         }
         rest.shuffle(rng);
         if let Some(fin) = final_edge[v] {

@@ -113,9 +113,11 @@ pub fn perf_per_dollar_improvement(
     hw_seconds: f64,
     acc: &AcceleratorConfig,
 ) -> f64 {
-    let hw_price = acc
-        .price_per_hour
-        .expect("accelerator has no hourly price; use perf/W for ASICs");
+    assert!(
+        acc.price_per_hour.is_some(),
+        "accelerator has no hourly price; use perf/W for ASICs"
+    );
+    let hw_price = acc.price_per_hour.unwrap_or_default();
     (sw_seconds * cpu.price_per_hour) / (hw_seconds * hw_price)
 }
 

@@ -63,6 +63,19 @@ pub struct Config {
     /// Files whose code feeds `canonical_text`; the determinism rule
     /// runs only on these.
     pub determinism_files: Vec<PathBuf>,
+    /// Directory prefixes that are *classified off* the canonical
+    /// surface: reachable from entry points but justified to hold
+    /// nondeterminism (orchestration, telemetry, tooling). The taint
+    /// pass requires every entry-reachable file to be in
+    /// `[determinism]` or under one of these prefixes.
+    pub determinism_exempt: Vec<PathBuf>,
+    /// Fn names treated as canonical-output sinks by the taint pass
+    /// (e.g. `canonical_text`, `paf_text`).
+    pub determinism_sinks: Vec<String>,
+    /// Fn names treated as pipeline entry points: roots for the
+    /// panic-reachability and taint BFS (e.g. `align_assemblies`,
+    /// `execute`, `main`).
+    pub entry_points: Vec<String>,
     /// Directories holding dataflow stage/queue code; the deadlock
     /// rule runs only on these.
     pub deadlock_dirs: Vec<PathBuf>,
@@ -126,6 +139,9 @@ impl Config {
                     cfg.panic_baselines.push((PathBuf::from(dir), count));
                 }
                 "determinism" => cfg.determinism_files.push(PathBuf::from(line)),
+                "determinism-exempt" => cfg.determinism_exempt.push(PathBuf::from(line)),
+                "determinism-sinks" => cfg.determinism_sinks.push(line.to_string()),
+                "entry-points" => cfg.entry_points.push(line.to_string()),
                 "deadlock" => cfg.deadlock_dirs.push(PathBuf::from(line)),
                 "" => {
                     return Err(LintError::Manifest {
@@ -208,6 +224,17 @@ src 2
 [determinism]
 crates/genome/src/sequence.rs
 
+[determinism-exempt]
+crates/core/src/obs
+
+[determinism-sinks]
+canonical_text
+paf_text
+
+[entry-points]
+align_assemblies
+execute
+
 [deadlock]
 crates/core/src/dataflow
 ";
@@ -220,6 +247,9 @@ crates/core/src/dataflow
         assert_eq!(cfg.panics_forbidden.len(), 1);
         assert_eq!(cfg.panic_baselines.len(), 2);
         assert_eq!(cfg.determinism_files.len(), 1);
+        assert_eq!(cfg.determinism_exempt.len(), 1);
+        assert_eq!(cfg.determinism_sinks, vec!["canonical_text", "paf_text"]);
+        assert_eq!(cfg.entry_points, vec!["align_assemblies", "execute"]);
         assert_eq!(cfg.deadlock_dirs.len(), 1);
     }
 

@@ -1,25 +1,30 @@
-//! Deadlock-shape rule for the dataflow executor.
+//! Generalized lock-and-queue discipline: interprocedural effect
+//! summaries over the whole workspace (the PR 5 deadlock rule covered
+//! only `core/src/dataflow`; this pass also sees `supervise`,
+//! `faultsim` gates, `pangenome` orchestration and everything else in
+//! `[scan]`).
 //!
-//! The dataflow design (DESIGN.md §dataflow) is deadlock-free by
-//! construction only while two lexically checkable properties hold:
+//! Invariants checked:
 //!
 //! 1. **The stage→queue graph is acyclic.** Every scope that pops one
 //!    bounded queue and pushes another creates an edge `popped →
 //!    pushed`; a cycle means a stage can block on a queue that only
-//!    drains through itself.
-//! 2. **No bounded-queue `push` while a lock guard is held.** A
-//!    blocking push inside a held `Mutex` guard couples backpressure
-//!    with lock acquisition (the classic lock-ordering deadlock with
-//!    the consumer that needs the same lock).
+//!    drains through itself. Queues are identified workspace-wide by
+//!    binding name (`BoundedQueue` ascription or constructor).
+//! 2. **No blocking effect under a held lock guard.** A bounded-queue
+//!    `push`, a zero-arg `JoinHandle::join()`, or a call to any fn
+//!    whose *effect summary* contains a push or join, while a
+//!    `let`-bound lock guard is live, couples backpressure or thread
+//!    exit with lock acquisition — the classic deadlock shape.
 //!
-//! The analysis is lexical, not semantic: queues are identified by
-//! *name* (`filter_q` in one function is assumed to be the `filter_q`
-//! passed from another — true in this codebase, where queues are
-//! created once in `execute` and threaded by reference), closures are
-//! separate scopes (so `execute`, which only *spawns* the stages,
-//! does not merge all their endpoints into one node), and function
-//! summaries propagate push/pop sets through direct calls by callee
-//! name.
+//! Effect summaries propagate push/pop/join sets through direct calls
+//! by callee name to a fixpoint, so a push three calls deep under a
+//! guard is still flagged at the guarded call site.
+//!
+//! Scoping choice: closures are **separate** scopes here — `execute`
+//! only spawns the stages, so merging their endpoints into it would
+//! fabricate pop×push edges and false cycles. (The reachability and
+//! taint passes make the opposite choice; see [`crate::callgraph`].)
 
 use std::collections::BTreeMap;
 
@@ -39,16 +44,24 @@ struct Scope {
     end: usize,
     pushes: Vec<String>,
     pops: Vec<String>,
+    joins: bool,
     calls: Vec<String>,
 }
 
-/// Aggregate result of the deadlock rule over one directory set.
+/// Interprocedural effect summary for one fn name.
+#[derive(Debug, Default, Clone)]
+struct Summary {
+    pushes: Vec<String>,
+    pops: Vec<String>,
+    joins: bool,
+}
+
+/// Aggregate result of the effects rule over the scanned workspace.
 #[derive(Debug, Default)]
-pub struct DeadlockReport {
+pub struct EffectsReport {
     /// Queue names found (sorted, deduped).
     pub queues: Vec<String>,
-    /// Stage edges popped→pushed with provenance (file idx resolved to
-    /// path by the caller) — sorted, deduped.
+    /// Stage edges popped→pushed with provenance — sorted, deduped.
     pub edges: Vec<Edge>,
     /// Human-readable cycle paths (empty when the graph is acyclic).
     pub cycles: Vec<String>,
@@ -64,12 +77,12 @@ pub struct Edge {
     pub line: u32,
 }
 
-/// Runs the deadlock rule over the lexed files of the dataflow dirs.
+/// Runs the effects rule over every scanned file.
 /// `files[i]` pairs each file's lex result with its directives.
-pub fn analyze(files: &[(&Lexed<'_>, &Directives)]) -> DeadlockReport {
-    let mut report = DeadlockReport::default();
+pub fn analyze(files: &[(&Lexed<'_>, &Directives)]) -> EffectsReport {
+    let mut report = EffectsReport::default();
 
-    // Pass 1: queue names, workspace-wide across the dataflow dirs.
+    // Pass 1: queue names, workspace-wide.
     let mut queues: Vec<String> = Vec::new();
     for (lexed, _) in files {
         collect_queue_names(lexed, &mut queues);
@@ -77,7 +90,7 @@ pub fn analyze(files: &[(&Lexed<'_>, &Directives)]) -> DeadlockReport {
     queues.sort();
     queues.dedup();
 
-    // Pass 2: scopes with direct push/pop/call sets.
+    // Pass 2: scopes with direct push/pop/join/call sets.
     let mut scopes: Vec<Scope> = Vec::new();
     let mut fn_names: Vec<String> = Vec::new();
     for (fi, (lexed, _)) in files.iter().enumerate() {
@@ -94,34 +107,36 @@ pub fn analyze(files: &[(&Lexed<'_>, &Directives)]) -> DeadlockReport {
         fill_endpoints(lexed, fi, &queues, &fn_names, &mut scopes);
     }
 
-    // Pass 3: fixpoint fn summaries (push/pop sets through calls).
-    let mut summaries: BTreeMap<String, (Vec<String>, Vec<String>)> = BTreeMap::new();
+    // Pass 3: fixpoint fn summaries (effects through calls).
+    let mut summaries: BTreeMap<String, Summary> = BTreeMap::new();
     for s in &scopes {
         if let Some(n) = &s.name {
             let entry = summaries.entry(n.clone()).or_default();
-            merge(&mut entry.0, &s.pushes);
-            merge(&mut entry.1, &s.pops);
+            merge(&mut entry.pushes, &s.pushes);
+            merge(&mut entry.pops, &s.pops);
+            entry.joins |= s.joins;
         }
     }
     loop {
         let mut changed = false;
-        // Two-phase: read callee summaries into a snapshot, then merge.
+        // Two-phase: read callee summaries from a snapshot, then merge.
         let snapshot = summaries.clone();
         for s in &scopes {
             let Some(n) = &s.name else { continue };
-            let mut add_push: Vec<String> = Vec::new();
-            let mut add_pop: Vec<String> = Vec::new();
+            let mut add = Summary::default();
             for callee in &s.calls {
-                if let Some((p, q)) = snapshot.get(callee) {
-                    merge(&mut add_push, p);
-                    merge(&mut add_pop, q);
+                if let Some(cs) = snapshot.get(callee) {
+                    merge(&mut add.pushes, &cs.pushes);
+                    merge(&mut add.pops, &cs.pops);
+                    add.joins |= cs.joins;
                 }
             }
             if let Some(entry) = summaries.get_mut(n) {
-                let before = (entry.0.len(), entry.1.len());
-                merge(&mut entry.0, &add_push);
-                merge(&mut entry.1, &add_pop);
-                if (entry.0.len(), entry.1.len()) != before {
+                let before = (entry.pushes.len(), entry.pops.len(), entry.joins);
+                merge(&mut entry.pushes, &add.pushes);
+                merge(&mut entry.pops, &add.pops);
+                entry.joins |= add.joins;
+                if (entry.pushes.len(), entry.pops.len(), entry.joins) != before {
                     changed = true;
                 }
             }
@@ -138,9 +153,9 @@ pub fn analyze(files: &[(&Lexed<'_>, &Directives)]) -> DeadlockReport {
         let mut pushes = s.pushes.clone();
         let mut pops = s.pops.clone();
         for callee in &s.calls {
-            if let Some((p, q)) = summaries.get(callee) {
-                merge(&mut pushes, p);
-                merge(&mut pops, q);
+            if let Some(cs) = summaries.get(callee) {
+                merge(&mut pushes, &cs.pushes);
+                merge(&mut pops, &cs.pops);
             }
         }
         // A pop/push pair on the *same* queue is kept as a self-loop:
@@ -160,13 +175,18 @@ pub fn analyze(files: &[(&Lexed<'_>, &Directives)]) -> DeadlockReport {
     report.edges.sort();
     report.edges.dedup_by(|a, b| a.from == b.from && a.to == b.to);
 
-    // Pass 5: cycle detection over queue nodes.
+    // Pass 5: cycle detection over queue nodes. Each cycle is
+    // attributed to the scope that contributed its first edge, so the
+    // violation lands in the offending file.
     report.cycles = find_cycles(&queues, &report.edges);
     for cyc in &report.cycles {
-        // Attribute the cycle to the first edge on it for file/line.
+        let mut legs = cyc.split(" -> ");
+        let (first, second) = (legs.next().unwrap_or(""), legs.next().unwrap_or(""));
         let (file, line, waived) = report
             .edges
-            .first()
+            .iter()
+            .find(|e| e.from == first && e.to == second)
+            .or(report.edges.first())
             .map(|e| (e.file, e.line, files[e.file].1.waived("deadlock", e.line)))
             .unwrap_or((0, 0, false));
         report.sites.push((
@@ -175,13 +195,23 @@ pub fn analyze(files: &[(&Lexed<'_>, &Directives)]) -> DeadlockReport {
                 line,
                 msg: format!("queue graph cycle: {}", cyc),
                 waived,
+                tok: 0,
             },
         ));
     }
 
-    // Pass 6: held-lock pushes, per file.
+    // Pass 6: blocking effects under a held guard, per file. The
+    // interprocedural arm only trusts names with exactly one defining
+    // scope — `new`/`push`/`flush` are defined many times over and a
+    // name-based match against the wrong one is worse than silence.
+    let mut def_count: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in &scopes {
+        if let Some(n) = &s.name {
+            *def_count.entry(n.as_str()).or_insert(0) += 1;
+        }
+    }
     for (fi, (lexed, dir)) in files.iter().enumerate() {
-        for site in held_lock_pushes(lexed, dir, &queues) {
+        for site in held_guard_effects(lexed, dir, &queues, &summaries, &def_count) {
             report.sites.push((fi, site));
         }
     }
@@ -260,6 +290,7 @@ fn collect_scopes(lexed: &Lexed<'_>, file: usize, scopes: &mut Vec<Scope>) {
                         end: close,
                         pushes: Vec::new(),
                         pops: Vec::new(),
+                        joins: false,
                         calls: Vec::new(),
                     });
                     i += 2;
@@ -286,6 +317,7 @@ fn collect_scopes(lexed: &Lexed<'_>, file: usize, scopes: &mut Vec<Scope>) {
                         end,
                         pushes: Vec::new(),
                         pops: Vec::new(),
+                        joins: false,
                         calls: Vec::new(),
                     });
                 }
@@ -347,8 +379,17 @@ fn closure_body(toks: &[crate::lexer::Tok<'_>], i: usize) -> (usize, usize) {
     (i, toks.len().saturating_sub(1))
 }
 
-/// Fills push/pop/call sets, attributing each token to its innermost
-/// scope in the same file.
+/// Whether token `i` starts a zero-arg `.join()` — a thread join, not
+/// `slice.join(sep)` which always takes an argument.
+fn is_thread_join(toks: &[crate::lexer::Tok<'_>], i: usize) -> bool {
+    toks[i].text == "."
+        && matches!(toks.get(i + 1), Some(m) if m.text == "join")
+        && matches!(toks.get(i + 2), Some(p) if p.text == "(")
+        && matches!(toks.get(i + 3), Some(p) if p.text == ")")
+}
+
+/// Fills push/pop/join/call sets, attributing each token to its
+/// innermost scope in the same file.
 fn fill_endpoints(
     lexed: &Lexed<'_>,
     file: usize,
@@ -362,6 +403,13 @@ fn fill_endpoints(
             continue;
         }
         let t = &toks[i];
+        // .join() — attribute to the innermost scope.
+        if is_thread_join(toks, i) {
+            if let Some(scope) = innermost_scope(scopes, file, i) {
+                scope.joins = true;
+            }
+            continue;
+        }
         if t.kind != TokKind::Ident {
             continue;
         }
@@ -380,7 +428,11 @@ fn fill_endpoints(
             None
         };
         // name( or .name( for a known fn, excluding the definition.
-        let is_call = fn_names.iter().any(|f| f == t.text)
+        // `drop(x)` is the std destructor invocation, never a direct
+        // call to a workspace `Drop::drop` impl — matching it would
+        // smear that impl's effects over every explicit drop.
+        let is_call = t.text != "drop"
+            && fn_names.iter().any(|f| f == t.text)
             && matches!(toks.get(i + 1), Some(p) if p.text == "(")
             && (i == 0 || toks[i - 1].text != "fn");
         if endpoint.is_none() && !is_call {
@@ -472,8 +524,18 @@ fn find_cycles(queues: &[String], edges: &[Edge]) -> Vec<String> {
     cycles
 }
 
-/// Pushes to a bounded queue while a `let`-bound lock guard is live.
-fn held_lock_pushes(lexed: &Lexed<'_>, dir: &Directives, queues: &[String]) -> Vec<RawSite> {
+/// Blocking effects while a `let`-bound lock guard is live: a direct
+/// bounded-queue push, a direct zero-arg `.join()`, or a plain call to
+/// a uniquely-named fn whose summary contains either. Method-style
+/// calls (`x.flush()`, `map.insert(..)`) are never matched against
+/// summaries — std trait names collide with workspace fns constantly.
+fn held_guard_effects(
+    lexed: &Lexed<'_>,
+    dir: &Directives,
+    queues: &[String],
+    summaries: &BTreeMap<String, Summary>,
+    def_count: &BTreeMap<&str, usize>,
+) -> Vec<RawSite> {
     let toks = &lexed.toks;
     let mut out = Vec::new();
     let mut depth = 0i64;
@@ -516,24 +578,75 @@ fn held_lock_pushes(lexed: &Lexed<'_>, dir: &Directives, queues: &[String]) -> V
                 locks.retain(|(name, _)| name != g.text);
             }
         }
+        if locks.is_empty() {
+            continue;
+        }
+        let guards = || {
+            locks
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join("`, `")
+        };
         // q.push( while a guard is live.
-        if !locks.is_empty()
-            && t.kind == TokKind::Ident
+        if t.kind == TokKind::Ident
             && queues.iter().any(|q| q == t.text)
             && matches!(toks.get(i + 1), Some(d) if d.text == ".")
             && matches!(toks.get(i + 2), Some(m) if m.text == "push")
             && matches!(toks.get(i + 3), Some(p) if p.text == "(")
         {
-            let guards: Vec<&str> = locks.iter().map(|(n, _)| n.as_str()).collect();
             out.push(RawSite {
                 line: t.line,
                 msg: format!(
                     "bounded-queue {}.push() while lock guard `{}` is held",
                     t.text,
-                    guards.join("`, `")
+                    guards()
                 ),
                 waived: dir.waived("deadlock", t.line),
+                tok: i,
             });
+        }
+        // .join() while a guard is live.
+        if is_thread_join(toks, i) {
+            let line = toks[i + 1].line;
+            out.push(RawSite {
+                line,
+                msg: format!(
+                    "thread .join() while lock guard `{}` is held",
+                    guards()
+                ),
+                waived: dir.waived("deadlock", line),
+                tok: i + 1,
+            });
+        }
+        // Plain name( where name's summary pushes or joins — and the
+        // name has exactly one definition, so the match is meaningful.
+        if t.kind == TokKind::Ident
+            && t.text != "drop"
+            && matches!(toks.get(i + 1), Some(p) if p.text == "(")
+            && !(i >= 1 && (toks[i - 1].text == "fn" || toks[i - 1].text == "."))
+            && def_count.get(t.text).copied().unwrap_or(0) == 1
+        {
+            if let Some(s) = summaries.get(t.text) {
+                if !s.pushes.is_empty() || s.joins {
+                    let effect = if !s.pushes.is_empty() {
+                        format!("pushes bounded queue `{}`", s.pushes.join("`, `"))
+                    } else {
+                        "joins a thread".to_string()
+                    };
+                    out.push(RawSite {
+                        line: t.line,
+                        msg: format!(
+                            "call to {}() which {} while lock guard `{}` is held",
+                            t.text,
+                            effect,
+                            guards()
+                        ),
+                        waived: dir.waived("deadlock", t.line),
+                        tok: i,
+                    });
+                }
+            }
         }
     }
     out
@@ -547,7 +660,9 @@ fn lock_binding(toks: &[crate::lexer::Tok<'_>], i: usize) -> Option<(String, usi
         j += 1;
     }
     let name = match toks.get(j) {
-        Some(t) if t.kind == TokKind::Ident => t.text.to_string(),
+        // `let _ = x.lock()…;` drops the guard at the end of the
+        // statement — the wildcard never holds anything.
+        Some(t) if t.kind == TokKind::Ident && t.text != "_" => t.text.to_string(),
         _ => return None,
     };
     if !matches!(toks.get(j + 1), Some(t) if t.text == "=") {
@@ -586,7 +701,7 @@ mod tests {
     use crate::lexer::lex;
     use crate::rules::scan_directives;
 
-    fn run(srcs: &[&str]) -> DeadlockReport {
+    fn run(srcs: &[&str]) -> EffectsReport {
         let lexed: Vec<_> = srcs.iter().map(|s| lex(s)).collect();
         let dirs: Vec<_> = lexed.iter().map(scan_directives).collect();
         let files: Vec<_> = lexed.iter().zip(dirs.iter()).collect();
@@ -703,6 +818,107 @@ fn scoped_ok(cells: &M, out_q: &BoundedQueue<u32>) {
 fn produce(cells: &M, q: &BoundedQueue<u32>) {
     let q: &BoundedQueue<u32> = q;
     *cells.lock() = 1;
+    q.push(1);
+}
+";
+        let r = run(&[src]);
+        assert!(r.sites.is_empty(), "{:?}", r.sites);
+    }
+
+    #[test]
+    fn join_under_held_lock_flagged() {
+        let src = "
+fn shutdown(state: &M, handle: H) {
+    let g = state.lock();
+    let _ = handle.join();
+}
+fn shutdown_ok(state: &M, handle: H) {
+    { let g = state.lock(); }
+    let _ = handle.join();
+}
+fn join_with_arg_is_not_a_thread(parts: &[String], state: &M) {
+    let g = state.lock();
+    let s = parts.join(\", \");
+}
+";
+        let r = run(&[src]);
+        let held: Vec<_> = r
+            .sites
+            .iter()
+            .filter(|(_, s)| s.msg.contains(".join()"))
+            .collect();
+        assert_eq!(held.len(), 1, "{:?}", r.sites);
+        assert!(held[0].1.msg.contains("`g`"));
+    }
+
+    #[test]
+    fn call_to_pushing_fn_under_guard_flagged_interprocedurally() {
+        let src = "
+fn outer(cells: &M, out_q: &BoundedQueue<u32>) {
+    let out_q: &BoundedQueue<u32> = out_q;
+    let g = cells.lock();
+    relay(out_q);
+}
+fn relay(out_q: &BoundedQueue<u32>) { via(out_q); }
+fn via(out_q: &BoundedQueue<u32>) { let _ = out_q.push(1); }
+";
+        let r = run(&[src]);
+        let held: Vec<_> = r
+            .sites
+            .iter()
+            .filter(|(_, s)| s.msg.contains("call to relay"))
+            .collect();
+        assert_eq!(held.len(), 1, "{:?}", r.sites);
+        assert!(held[0].1.msg.contains("out_q"));
+    }
+
+    #[test]
+    fn ambiguous_fn_name_is_not_matched_under_guard() {
+        // Two fns named `new`, one of which joins: a bare `new(...)`
+        // call under a guard cannot be attributed and must not flag.
+        let src = "
+fn outer(cells: &M) {
+    let g = cells.lock();
+    let x = new();
+}
+fn new() -> u32 { 1 }
+";
+        let joins_elsewhere = "
+fn new(h: H) { let _ = h.join(); }
+";
+        let r = run(&[src, joins_elsewhere]);
+        assert!(
+            r.sites.iter().all(|(_, s)| !s.msg.contains("call to")),
+            "{:?}",
+            r.sites
+        );
+    }
+
+    #[test]
+    fn method_call_is_not_matched_against_summaries() {
+        // `err.flush()` is std Write::flush; a workspace fn named
+        // `flush` that joins must not taint the method call.
+        let src = "
+fn print_line(out: &O) {
+    let mut err = out.lock();
+    let _ = err.flush();
+}
+fn flush(h: H) { let _ = h.join(); }
+";
+        let r = run(&[src]);
+        assert!(
+            r.sites.iter().all(|(_, s)| !s.msg.contains("call to")),
+            "{:?}",
+            r.sites
+        );
+    }
+
+    #[test]
+    fn wildcard_let_is_not_a_guard() {
+        let src = "
+fn poke(cells: &M, q: &BoundedQueue<u32>) {
+    let q: &BoundedQueue<u32> = q;
+    let _ = cells.lock();
     q.push(1);
 }
 ";

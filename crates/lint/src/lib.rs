@@ -1,38 +1,70 @@
 //! `wga-lint` — project-invariant static analyzer for the Darwin-WGA
 //! workspace.
 //!
-//! Five rules, all driven by the hand-rolled lexer in [`lexer`] and
-//! configured by the checked-in manifest (`scripts/wga-lint.manifest`):
+//! Since v2 the linter is *interprocedural*: a symbol table
+//! ([`symbols`]) and a workspace call graph ([`callgraph`]) sit on the
+//! hand-rolled lexer ([`lexer`]), and three of the rules run fixpoint
+//! passes over that graph instead of flat token scans:
 //!
 //! * **panics** — `.unwrap()`/`.expect(`/`panic!`-family in non-test
-//!   library code, with per-directory baselines for pre-existing sites
-//!   and zero tolerance in `[panics-forbidden]` dirs (obs).
+//!   library code. Sites whose enclosing fn is reachable from a
+//!   pipeline entry point (`[entry-points]`) are hard violations that
+//!   carry the full entry→site call chain; unreachable sites fall back
+//!   to the per-directory baselines, and `[panics-forbidden]` dirs
+//!   tolerate nothing either way. `self.unwrap()`/`self.expect(..)`
+//!   calls that resolve to a method the enclosing impl defines are
+//!   *calls*, not panic sites.
 //! * **determinism** — hash-map/set iteration, wall-clock reads and
 //!   float use in the manifest's `[determinism]` module set (the code
 //!   that feeds `canonical_text`).
-//! * **deadlock** — the dataflow stage→queue graph must be acyclic and
-//!   no bounded-queue push may happen under a held lock guard.
+//! * **taint** — (a) every file reachable from an entry point must be
+//!   classified in `[determinism]` or `[determinism-exempt]`;
+//!   (b) nondeterminism sources taint callee→caller, and a canonical
+//!   sink (`[determinism-sinks]`) that transitively reaches an
+//!   unwaived source is a violation with the sink→source chain.
+//! * **deadlock** — workspace-wide: the stage→queue graph over every
+//!   `BoundedQueue` must be acyclic, and no queue push, zero-arg
+//!   `.join()`, or call to a fn whose effect summary pushes/joins may
+//!   happen under a held lock guard ([`effects`]).
 //! * **hot-loop** — no allocation/formatting in loop bodies of files
 //!   tagged `// lint: hot`.
 //! * **unsafe** — every `unsafe` needs a `// SAFETY:` comment.
 //!
 //! Any rule can be waived per site with
 //! `// lint: allow(<rule>): <why>` — the *why* is mandatory.
+//!
+//! **Soundness caveats**: call resolution is name-based (no types), so
+//! trait calls fan out to every in-workspace implementor, same-named
+//! free fns in other crates can alias, and calls into external crates
+//! are explicit *unknown edges* that confer no reachability. The
+//! passes over-approximate reachability and taint rather than prove
+//! their absence.
 
+pub mod callgraph;
 pub mod config;
-pub mod deadlock;
+pub mod effects;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 pub use config::{Config, LintError};
 
 /// All rule names, in reporting order.
-pub const RULES: &[&str] = &["panics", "determinism", "deadlock", "hot-loop", "unsafe"];
+pub const RULES: &[&str] = &[
+    "panics",
+    "determinism",
+    "taint",
+    "deadlock",
+    "hot-loop",
+    "unsafe",
+];
 
 /// What became of one rule hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +86,10 @@ pub struct Site {
     pub line: u32,
     pub msg: String,
     pub status: SiteStatus,
+    /// Call path witnessing the finding (`entry -> … -> site` for
+    /// reachability findings, `sink -> … -> source` for taint). Empty
+    /// for flat-token findings.
+    pub chain: Vec<String>,
 }
 
 /// Per-rule counters for the report.
@@ -71,9 +107,16 @@ pub struct Analysis {
     pub files_scanned: usize,
     pub sites: Vec<Site>,
     /// Panic accounting per baseline directory:
-    /// (dir, non-waived sites found, allowed).
+    /// (dir, non-waived *unreachable* sites found, allowed).
     pub baseline_dirs: Vec<(String, usize, usize)>,
-    /// Deadlock-rule graph shape.
+    /// Call-graph shape.
+    pub fns: usize,
+    pub call_edges: usize,
+    pub unknown_edges: usize,
+    /// Entry-point fns matched / fns reachable from them.
+    pub entry_fns: usize,
+    pub reachable_fns: usize,
+    /// Deadlock-rule queue-graph shape.
     pub queues: usize,
     pub edges: usize,
     pub cycles: usize,
@@ -81,6 +124,10 @@ pub struct Analysis {
     pub hot_files: usize,
     /// Rules that actually ran, in [`RULES`] order.
     pub enabled: Vec<&'static str>,
+    /// Per-rule wall time in microseconds, in [`RULES`] order for the
+    /// rules that ran. Shown in human output only — never serialized,
+    /// so reports stay byte-stable across runs.
+    pub timings: Vec<(&'static str, u128)>,
 }
 
 impl Analysis {
@@ -177,44 +224,112 @@ pub fn run(cfg: &Config, enabled: &[&'static str]) -> Result<Analysis, LintError
     analysis.files_scanned = files.len();
     analysis.hot_files = dirs.iter().filter(|d| d.hot).count();
 
-    let rel_str =
-        |p: &Path| -> String { p.to_string_lossy().replace('\\', "/") };
+    let rel_str = |p: &Path| -> String { p.to_string_lossy().replace('\\', "/") };
+    let rel_names: Vec<String> = files.iter().map(|p| rel_str(p)).collect();
 
-    // --- panics: per-file sites, then baseline aggregation ----------
+    // --- symbol table + workspace call graph ------------------------
+    let t0 = Instant::now();
+    let syms: Vec<symbols::FileSymbols> = lexed
+        .iter()
+        .enumerate()
+        .map(|(i, lx)| symbols::extract(lx, i))
+        .collect();
+    let graph = callgraph::build(&rel_names, &lexed, &syms);
+    let roots = graph.nodes_named(&cfg.entry_points);
+    let (entry_parent, entry_seen) = graph.reach(&roots);
+    analysis.fns = graph.fns.len();
+    analysis.call_edges = graph.edge_count();
+    analysis.unknown_edges = graph.unknown_count();
+    analysis.entry_fns = roots.len();
+    analysis.reachable_fns = entry_seen.iter().filter(|&&s| s).count();
+    analysis.timings.push(("callgraph", t0.elapsed().as_micros()));
+
+    // A `self.unwrap()` / `self.expect(..)` whose enclosing impl
+    // defines that method is a resolved call, not a panic site (the
+    // journal JSON parser has such methods).
+    let is_self_method = |fi: usize, tok: usize| -> bool {
+        let toks = &lexed[fi].toks;
+        if tok < 2 || tok >= toks.len() {
+            return false;
+        }
+        let name = toks[tok].text;
+        if (name != "unwrap" && name != "expect")
+            || toks[tok - 1].text != "."
+            || toks[tok - 2].text != "self"
+        {
+            return false;
+        }
+        let Some(node) = graph.enclosing_fn(fi, tok) else {
+            return false;
+        };
+        let Some(owner) = &graph.fns[node].impl_type else {
+            return false;
+        };
+        graph
+            .fns
+            .iter()
+            .any(|f| f.name == name && f.impl_type.as_deref() == Some(owner.as_str()))
+    };
+
+    // --- panics: reachability split, then baseline aggregation ------
     if on("panics") {
-        // Non-waived site indexes grouped by baseline directory.
+        let t = Instant::now();
+        // Non-waived *unreachable* site indexes grouped by baseline dir.
         let mut groups: BTreeMap<PathBuf, (usize, Vec<usize>)> = BTreeMap::new();
-        for ((rel, lx), dir) in files.iter().zip(&lexed).zip(&dirs) {
+        for (fi, rel) in files.iter().enumerate() {
             if Config::under_any(rel, &cfg.panics_exempt) {
                 continue;
             }
             let forbidden = Config::under_any(rel, &cfg.panics_forbidden);
-            for raw in rules::panics(lx, dir) {
+            for raw in rules::panics(&lexed[fi], &dirs[fi]) {
+                if is_self_method(fi, raw.tok) {
+                    continue;
+                }
+                let enclosing = graph.enclosing_fn(fi, raw.tok);
+                let reachable = enclosing.map(|n| entry_seen[n]).unwrap_or(false);
                 if raw.waived {
                     analysis.sites.push(Site {
                         rule: "panics",
-                        file: rel_str(rel),
+                        file: rel_names[fi].clone(),
                         line: raw.line,
                         msg: raw.msg,
                         status: SiteStatus::Waived,
+                        chain: Vec::new(),
                     });
                 } else if forbidden {
                     analysis.sites.push(Site {
                         rule: "panics",
-                        file: rel_str(rel),
+                        file: rel_names[fi].clone(),
                         line: raw.line,
                         msg: format!("{} — in a panic-forbidden directory", raw.msg),
                         status: SiteStatus::Violation,
+                        chain: Vec::new(),
+                    });
+                } else if reachable {
+                    let node = enclosing.unwrap_or(0);
+                    let chain = graph.chain(&entry_parent, &entry_seen, node);
+                    analysis.sites.push(Site {
+                        rule: "panics",
+                        file: rel_names[fi].clone(),
+                        line: raw.line,
+                        msg: format!(
+                            "{} — reachable from pipeline entry points via {}",
+                            raw.msg,
+                            chain.join(" -> ")
+                        ),
+                        status: SiteStatus::Violation,
+                        chain,
                     });
                 } else {
                     let (bdir, allowed) = cfg.baseline_for(rel);
                     let idx = analysis.sites.len();
                     analysis.sites.push(Site {
                         rule: "panics",
-                        file: rel_str(rel),
+                        file: rel_names[fi].clone(),
                         line: raw.line,
                         msg: raw.msg,
                         status: SiteStatus::Violation, // resolved below
+                        chain: Vec::new(),
                     });
                     let entry = groups.entry(bdir).or_insert((allowed, Vec::new()));
                     entry.1.push(idx);
@@ -247,18 +362,20 @@ pub fn run(cfg: &Config, enabled: &[&'static str]) -> Result<Analysis, LintError
                 .baseline_dirs
                 .push((rel_str(&bdir), found, allowed));
         }
+        analysis.timings.push(("panics", t.elapsed().as_micros()));
     }
 
     // --- determinism: manifest module set only ----------------------
     if on("determinism") {
-        for ((rel, lx), dir) in files.iter().zip(&lexed).zip(&dirs) {
+        let t = Instant::now();
+        for (fi, rel) in files.iter().enumerate() {
             if !cfg.determinism_files.iter().any(|f| f == rel) {
                 continue;
             }
-            for raw in rules::determinism(lx, dir) {
+            for raw in rules::determinism(&lexed[fi], &dirs[fi]) {
                 analysis.sites.push(Site {
                     rule: "determinism",
-                    file: rel_str(rel),
+                    file: rel_names[fi].clone(),
                     line: raw.line,
                     msg: raw.msg,
                     status: if raw.waived {
@@ -266,66 +383,49 @@ pub fn run(cfg: &Config, enabled: &[&'static str]) -> Result<Analysis, LintError
                     } else {
                         SiteStatus::Violation
                     },
+                    chain: Vec::new(),
                 });
             }
         }
+        analysis
+            .timings
+            .push(("determinism", t.elapsed().as_micros()));
     }
 
-    // --- hot-loop + unsafe: every scanned file ----------------------
-    if on("hot-loop") || on("unsafe") {
-        for ((rel, lx), dir) in files.iter().zip(&lexed).zip(&dirs) {
-            if on("hot-loop") {
-                for raw in rules::hot_loop(lx, dir) {
-                    analysis.sites.push(Site {
-                        rule: "hot-loop",
-                        file: rel_str(rel),
-                        line: raw.line,
-                        msg: raw.msg,
-                        status: if raw.waived {
-                            SiteStatus::Waived
-                        } else {
-                            SiteStatus::Violation
-                        },
-                    });
-                }
-            }
-            if on("unsafe") {
-                for raw in rules::unsafe_audit(lx, dir) {
-                    analysis.sites.push(Site {
-                        rule: "unsafe",
-                        file: rel_str(rel),
-                        line: raw.line,
-                        msg: raw.msg,
-                        status: if raw.waived {
-                            SiteStatus::Waived
-                        } else {
-                            SiteStatus::Violation
-                        },
-                    });
-                }
-            }
+    // --- taint: surface superset + tainted sinks --------------------
+    if on("taint") {
+        let t = Instant::now();
+        let tr = taint::analyze(cfg, &files, &lexed, &dirs, &graph, &entry_parent, &entry_seen);
+        for site in tr.sites {
+            analysis.sites.push(Site {
+                rule: "taint",
+                file: rel_names[site.file].clone(),
+                line: site.line,
+                msg: site.msg,
+                status: if site.waived {
+                    SiteStatus::Waived
+                } else {
+                    SiteStatus::Violation
+                },
+                chain: site.chain,
+            });
         }
+        analysis.timings.push(("taint", t.elapsed().as_micros()));
     }
 
-    // --- deadlock: cross-file over the dataflow dirs ----------------
+    // --- deadlock: workspace-wide queue/lock/join discipline --------
     if on("deadlock") {
-        let mut dl_files: Vec<usize> = Vec::new();
-        for (i, rel) in files.iter().enumerate() {
-            if Config::under_any(rel, &cfg.deadlock_dirs) {
-                dl_files.push(i);
-            }
-        }
+        let t = Instant::now();
         let pairs: Vec<(&lexer::Lexed<'_>, &rules::Directives)> =
-            dl_files.iter().map(|&i| (&lexed[i], &dirs[i])).collect();
-        let dl = deadlock::analyze(&pairs);
+            lexed.iter().zip(dirs.iter()).collect();
+        let dl = effects::analyze(&pairs);
         analysis.queues = dl.queues.len();
         analysis.edges = dl.edges.len();
         analysis.cycles = dl.cycles.len();
         for (fi, raw) in dl.sites {
-            let rel = &files[dl_files[fi]];
             analysis.sites.push(Site {
                 rule: "deadlock",
-                file: rel_str(rel),
+                file: rel_names[fi].clone(),
                 line: raw.line,
                 msg: raw.msg,
                 status: if raw.waived {
@@ -333,8 +433,52 @@ pub fn run(cfg: &Config, enabled: &[&'static str]) -> Result<Analysis, LintError
                 } else {
                     SiteStatus::Violation
                 },
+                chain: Vec::new(),
             });
         }
+        analysis.timings.push(("deadlock", t.elapsed().as_micros()));
+    }
+
+    // --- hot-loop + unsafe: every scanned file ----------------------
+    if on("hot-loop") || on("unsafe") {
+        let t = Instant::now();
+        for (fi, _) in files.iter().enumerate() {
+            if on("hot-loop") {
+                for raw in rules::hot_loop(&lexed[fi], &dirs[fi]) {
+                    analysis.sites.push(Site {
+                        rule: "hot-loop",
+                        file: rel_names[fi].clone(),
+                        line: raw.line,
+                        msg: raw.msg,
+                        status: if raw.waived {
+                            SiteStatus::Waived
+                        } else {
+                            SiteStatus::Violation
+                        },
+                        chain: Vec::new(),
+                    });
+                }
+            }
+            if on("unsafe") {
+                for raw in rules::unsafe_audit(&lexed[fi], &dirs[fi]) {
+                    analysis.sites.push(Site {
+                        rule: "unsafe",
+                        file: rel_names[fi].clone(),
+                        line: raw.line,
+                        msg: raw.msg,
+                        status: if raw.waived {
+                            SiteStatus::Waived
+                        } else {
+                            SiteStatus::Violation
+                        },
+                        chain: Vec::new(),
+                    });
+                }
+            }
+        }
+        analysis
+            .timings
+            .push(("hot-loop+unsafe", t.elapsed().as_micros()));
     }
 
     analysis

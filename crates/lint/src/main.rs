@@ -23,8 +23,8 @@ struct Args {
 }
 
 const USAGE: &str = "wga-lint [--root DIR] [--manifest PATH] [--rule NAME]... \
-[--json PATH] [--no-json]\n  rules: panics, determinism, deadlock, hot-loop, unsafe \
-(default: all)";
+[--json PATH] [--no-json]\n  rules: panics, determinism, taint, deadlock, hot-loop, \
+unsafe (default: all)";
 
 fn parse_args() -> Result<Args, LintError> {
     let mut args = Args {

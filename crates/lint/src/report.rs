@@ -1,18 +1,29 @@
 //! Report rendering: a human summary for the terminal and the
-//! integer-only `lint_report.json` CI consumes (same idiom as the
-//! `BENCH_*.json` files — string names, integer counters, nothing
-//! floating).
+//! schema-2 `lint_report.json` CI consumes.
+//!
+//! The JSON is **byte-stable**: same tree + same manifest ⇒ identical
+//! bytes, so CI can diff it against a committed expectations file.
+//! That is why per-rule wall times live only in the human output —
+//! they would make every run unique. Every finding is serialized
+//! (violations, waived, baselined) with its call chain when the rule
+//! produced one, so waiver and baseline drift shows up in the diff
+//! too, not just hard failures.
 
 use crate::{Analysis, SiteStatus};
 
 /// Human-readable report. Violations are listed `file:line [rule]`,
-/// one per line, so terminals and editors can jump to them.
+/// one per line, so terminals and editors can jump to them; findings
+/// with a call chain print it indented underneath.
 pub fn human(a: &Analysis) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "wga-lint: {} files scanned, rules: {}\n",
         a.files_scanned,
         a.enabled.join(", ")
+    ));
+    out.push_str(&format!(
+        "  call graph  {} fns, {} edges, {} unknown edges, {} reachable from {} entry fns\n",
+        a.fns, a.call_edges, a.unknown_edges, a.reachable_fns, a.entry_fns
     ));
     for rule in &a.enabled {
         let s = a.stats(rule);
@@ -49,6 +60,14 @@ pub fn human(a: &Analysis) -> String {
             }
         }
     }
+    if !a.timings.is_empty() {
+        out.push_str("  timing     ");
+        for (i, (name, micros)) in a.timings.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            out.push_str(&format!("{}{} {}.{:01}ms", sep, name, micros / 1000, (micros % 1000) / 100));
+        }
+        out.push('\n');
+    }
     let violations: Vec<_> = a
         .sites
         .iter()
@@ -60,17 +79,39 @@ pub fn human(a: &Analysis) -> String {
         out.push_str(&format!("VIOLATIONS ({}):\n", violations.len()));
         for v in violations {
             out.push_str(&format!("  {}:{} [{}] {}\n", v.file, v.line, v.rule, v.msg));
+            if !v.chain.is_empty() {
+                out.push_str(&format!("      chain: {}\n", v.chain.join(" -> ")));
+            }
         }
     }
     out
 }
 
-/// `lint_report.json` body: string names, integer counters only.
+/// Minimal JSON string escaping — the messages only ever need quote
+/// and backslash handling, but control characters are covered anyway.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `lint_report.json` body, schema 2. Deterministic byte-for-byte:
+/// no timestamps, no timings, sites already sorted by (file, line,
+/// rule) upstream.
 pub fn json(a: &Analysis) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"tool\": \"wga-lint\",\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"lint_schema\": 2,\n");
     out.push_str(&format!("  \"files\": {},\n", a.files_scanned));
     let mut total_waived = 0usize;
     let mut total_baselined = 0usize;
@@ -84,6 +125,10 @@ pub fn json(a: &Analysis) -> String {
     out.push_str(&format!("  \"violations\": {},\n", a.total_violations()));
     out.push_str(&format!("  \"waived\": {},\n", total_waived));
     out.push_str(&format!("  \"baselined\": {},\n", total_baselined));
+    out.push_str(&format!(
+        "  \"graph\": {{\"fns\": {}, \"call_edges\": {}, \"unknown_edges\": {}, \"entry_fns\": {}, \"reachable_fns\": {}}},\n",
+        a.fns, a.call_edges, a.unknown_edges, a.entry_fns, a.reachable_fns
+    ));
     out.push_str("  \"rules\": {\n");
     for (i, rule) in a.enabled.iter().enumerate() {
         let s = a.stats(rule);
@@ -107,7 +152,42 @@ pub fn json(a: &Analysis) -> String {
             )),
         }
     }
-    out.push_str("  }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"baselines\": [\n");
+    for (i, (dir, found, allowed)) in a.baseline_dirs.iter().enumerate() {
+        let comma = if i + 1 == a.baseline_dirs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"dir\": \"{}\", \"found\": {}, \"allowed\": {}}}{}\n",
+            esc(dir), found, allowed, comma
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"findings\": [\n");
+    for (i, s) in a.sites.iter().enumerate() {
+        let comma = if i + 1 == a.sites.len() { "" } else { "," };
+        let status = match s.status {
+            SiteStatus::Violation => "violation",
+            SiteStatus::Waived => "waived",
+            SiteStatus::Baselined => "baselined",
+        };
+        let chain = s
+            .chain
+            .iter()
+            .map(|c| format!("\"{}\"", esc(c)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"status\": \"{}\", \"msg\": \"{}\", \"chain\": [{}]}}{}\n",
+            s.rule,
+            esc(&s.file),
+            s.line,
+            status,
+            esc(&s.msg),
+            chain,
+            comma
+        ));
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
@@ -127,6 +207,15 @@ mod tests {
                     line: 3,
                     msg: ".unwrap()".into(),
                     status: SiteStatus::Baselined,
+                    chain: Vec::new(),
+                },
+                Site {
+                    rule: "panics",
+                    file: "src/a.rs".into(),
+                    line: 7,
+                    msg: ".expect( — reachable from pipeline entry points via execute -> step".into(),
+                    status: SiteStatus::Violation,
+                    chain: vec!["execute".into(), "step".into()],
                 },
                 Site {
                     rule: "unsafe",
@@ -134,33 +223,61 @@ mod tests {
                     line: 9,
                     msg: "unsafe without a // SAFETY: comment".into(),
                     status: SiteStatus::Violation,
+                    chain: Vec::new(),
                 },
             ],
             baseline_dirs: vec![("src".into(), 1, 1)],
+            fns: 12,
+            call_edges: 18,
+            unknown_edges: 4,
+            entry_fns: 2,
+            reachable_fns: 9,
             queues: 3,
             edges: 2,
             cycles: 0,
             hot_files: 1,
-            enabled: vec!["panics", "determinism", "deadlock", "hot-loop", "unsafe"],
+            enabled: vec!["panics", "determinism", "taint", "deadlock", "hot-loop", "unsafe"],
+            timings: vec![("callgraph", 1234), ("panics", 567)],
         }
     }
 
     #[test]
-    fn json_is_integer_only() {
+    fn json_is_schema_2_with_graph_and_chains() {
         let j = json(&sample());
-        assert!(j.contains("\"tool\": \"wga-lint\""));
-        assert!(j.contains("\"violations\": 1"));
-        assert!(j.contains("\"queues\": 3"));
-        // No float ever sneaks into the report (its own determinism
-        // rule would be ashamed).
-        assert!(!j.contains('.'), "{}", j.replace("wga-lint", ""));
+        assert!(j.contains("\"lint_schema\": 2"));
+        assert!(j.contains("\"violations\": 2"));
+        assert!(j.contains(
+            "\"graph\": {\"fns\": 12, \"call_edges\": 18, \"unknown_edges\": 4, \"entry_fns\": 2, \"reachable_fns\": 9}"
+        ));
+        assert!(j.contains("\"chain\": [\"execute\", \"step\"]"));
+        assert!(j.contains("\"status\": \"baselined\""));
     }
 
     #[test]
-    fn human_lists_violation_with_location() {
+    fn json_is_byte_stable_and_timing_free() {
+        let a = sample();
+        // Timings differ run to run; the diffable report must not
+        // carry them.
+        assert!(!json(&a).contains("timing"));
+        assert_eq!(json(&a), json(&a));
+    }
+
+    #[test]
+    fn json_escapes_quotes_in_messages() {
+        let mut a = sample();
+        a.sites[0].msg = "panic!(\"{e}\")".into();
+        let j = json(&a);
+        assert!(j.contains("panic!(\\\"{e}\\\")"));
+    }
+
+    #[test]
+    fn human_lists_violation_with_location_and_chain() {
         let h = human(&sample());
         assert!(h.contains("src/b.rs:9 [unsafe]"));
         assert!(h.contains("baseline src: 1 found / 1 allowed"));
-        assert!(h.contains("VIOLATIONS (1):"));
+        assert!(h.contains("VIOLATIONS (2):"));
+        assert!(h.contains("chain: execute -> step"));
+        assert!(h.contains("call graph  12 fns"));
+        assert!(h.contains("timing"));
     }
 }

@@ -40,12 +40,15 @@ impl Directives {
     }
 }
 
-/// A rule hit before aggregation: line, message, waiver status.
+/// A rule hit before aggregation: line, message, waiver status, and
+/// the token index it anchors to (so interprocedural passes can map a
+/// site to its enclosing fn).
 #[derive(Debug)]
 pub struct RawSite {
     pub line: u32,
     pub msg: String,
     pub waived: bool,
+    pub tok: usize,
 }
 
 /// Tokens that begin an item or statement — an own-line waiver above
@@ -134,6 +137,7 @@ pub fn panics(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                 line,
                 msg: format!(".{}()", toks[i + 1].text),
                 waived: dir.waived("panics", line),
+                tok: i + 1,
             });
         }
         if t.kind == TokKind::Ident
@@ -144,6 +148,7 @@ pub fn panics(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                 line: t.line,
                 msg: format!("{}!", t.text),
                 waived: dir.waived("panics", t.line),
+                tok: i,
             });
         }
     }
@@ -230,6 +235,7 @@ pub fn determinism(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                         line: t.line,
                         msg: format!("hash iteration: {}.{}()", t.text, toks[i + 2].text),
                         waived: dir.waived("determinism", t.line),
+                        tok: i,
                     });
                 }
                 // for … in [&][mut] name {
@@ -245,6 +251,7 @@ pub fn determinism(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                             line: toks[j].line,
                             msg: format!("hash iteration: for … in {}", toks[j].text),
                             waived: dir.waived("determinism", toks[j].line),
+                            tok: j,
                         });
                     }
                 }
@@ -255,6 +262,7 @@ pub fn determinism(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                         line: t.line,
                         msg: "wall clock: Instant::now".to_string(),
                         waived: dir.waived("determinism", t.line),
+                        tok: i,
                     });
                 }
                 if t.text == "SystemTime" {
@@ -262,6 +270,7 @@ pub fn determinism(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                         line: t.line,
                         msg: "wall clock: SystemTime".to_string(),
                         waived: dir.waived("determinism", t.line),
+                        tok: i,
                     });
                 }
                 if t.text == "f32" || t.text == "f64" {
@@ -269,6 +278,7 @@ pub fn determinism(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                         line: t.line,
                         msg: format!("float type: {}", t.text),
                         waived: dir.waived("determinism", t.line),
+                        tok: i,
                     });
                 }
             }
@@ -277,9 +287,39 @@ pub fn determinism(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                     line: t.line,
                     msg: format!("float literal: {}", t.text),
                     waived: dir.waived("determinism", t.line),
+                    tok: i,
                 });
             }
             _ => {}
+        }
+    }
+    out
+}
+
+/// Thread-spawn sites (`thread::spawn(…)`, `s.spawn(…)`) — a
+/// determinism-taint *source* only: the order results come back in is
+/// scheduler-dependent, so a canonical sink must never transitively
+/// observe it. Not a per-file determinism violation (orchestration
+/// spawns freely); only the taint pass consumes these.
+pub fn spawn_sources(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if lexed.test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && t.text == "spawn"
+            && matches!(toks.get(i + 1), Some(p) if p.text == "(")
+            && !(i >= 1 && toks[i - 1].text == "fn")
+        {
+            out.push(RawSite {
+                line: t.line,
+                msg: "spawn ordering".to_string(),
+                waived: dir.waived("determinism", t.line),
+                tok: i,
+            });
         }
     }
     out
@@ -354,6 +394,7 @@ pub fn hot_loop(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                 line: t.line,
                 msg: "Vec::new in hot loop".to_string(),
                 waived: dir.waived("hot-loop", t.line),
+                tok: i,
             });
         }
         if t.text == "."
@@ -365,6 +406,7 @@ pub fn hot_loop(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                 line,
                 msg: ".to_vec() in hot loop".to_string(),
                 waived: dir.waived("hot-loop", line),
+                tok: i + 1,
             });
         }
         if t.text == "."
@@ -377,6 +419,7 @@ pub fn hot_loop(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                 line,
                 msg: ".clone() in hot loop".to_string(),
                 waived: dir.waived("hot-loop", line),
+                tok: i + 1,
             });
         }
         if t.text == "format"
@@ -386,6 +429,7 @@ pub fn hot_loop(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                 line: t.line,
                 msg: "format! in hot loop".to_string(),
                 waived: dir.waived("hot-loop", t.line),
+                tok: i,
             });
         }
     }
@@ -425,6 +469,7 @@ pub fn unsafe_audit(lexed: &Lexed<'_>, dir: &Directives) -> Vec<RawSite> {
                 line: t.line,
                 msg: "unsafe without a // SAFETY: comment".to_string(),
                 waived: dir.waived("unsafe", t.line),
+                tok: i,
             });
         }
     }

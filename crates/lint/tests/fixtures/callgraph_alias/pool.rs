@@ -1,0 +1,12 @@
+//! `use … as` aliasing fixture: the call through `launch` must resolve
+//! to `spawn_worker`, not become an unknown edge.
+
+use crate::pool::spawn_worker as launch;
+
+pub fn execute() {
+    launch();
+}
+
+mod pool {
+    pub fn spawn_worker() {}
+}

@@ -1,0 +1,14 @@
+//! Closure fixture: the call graph merges closure bodies into the
+//! enclosing fn, so `helper` is reachable from `execute` even though
+//! the call sits inside `|| …`, and the closure is not its own node.
+
+pub fn execute() {
+    let worker = || helper();
+    worker();
+}
+
+fn helper() {
+    inner();
+}
+
+fn inner() {}

@@ -1,0 +1,29 @@
+//! Macro-generated-body fixture, shaped like the workspace's
+//! `wavefront_i16_kernel!` idiom: each item-position invocation of a
+//! workspace `macro_rules!` whose body contains `fn $name(` synthesizes
+//! one graph node named by the first identifier argument, whose body is
+//! the macro's body range — so calls inside the macro body edge out of
+//! every synthesized fn.
+
+macro_rules! wavefront_i16_kernel {
+    ($name:ident, $t:ty) => {
+        pub fn $name(xs: &[$t]) -> i64 {
+            let mut acc: i64 = 0;
+            for x in xs {
+                acc += helper(*x as i64);
+            }
+            acc
+        }
+    };
+}
+
+wavefront_i16_kernel!(kernel_i16, i16);
+wavefront_i16_kernel!(kernel_i32, i32);
+
+fn helper(x: i64) -> i64 {
+    x + 1
+}
+
+pub fn execute() -> i64 {
+    kernel_i16(&[1, 2]) + kernel_i32(&[3])
+}

@@ -1,0 +1,13 @@
+//! Shadowed-name fixture, file 1 of 2: `normalize` is defined here and
+//! in `b.rs`. Name-based resolution fans the call out to both — the
+//! documented over-approximation.
+
+pub fn execute() {
+    normalize();
+}
+
+pub fn normalize() {
+    step();
+}
+
+fn step() {}

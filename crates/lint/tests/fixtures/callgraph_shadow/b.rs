@@ -1,0 +1,7 @@
+//! Shadowed-name fixture, file 2 of 2.
+
+pub fn normalize() {
+    other();
+}
+
+fn other() {}

@@ -1,0 +1,6 @@
+//! Shadowed-name fixture, file 3 of 3: `dispatch` has no same-file
+//! `normalize`, so its call fans out to both definitions.
+
+pub fn dispatch() {
+    normalize();
+}

@@ -1,0 +1,35 @@
+//! Trait-dispatch fixture: a `.run()` call fans out to every
+//! in-workspace implementor *with a body* — the bodyless trait
+//! signature is not a call target, the trait's default method is.
+
+pub trait Stage {
+    fn run(&self);
+    fn tag(&self) -> u32 {
+        7
+    }
+}
+
+pub struct Seeding;
+pub struct Filtering;
+
+impl Stage for Seeding {
+    fn run(&self) {
+        seed_once();
+    }
+}
+
+impl Stage for Filtering {
+    fn run(&self) {
+        filter_once();
+    }
+}
+
+fn seed_once() {}
+fn filter_once() {}
+
+pub fn execute(stages: &[Box<dyn Stage>]) {
+    for s in stages {
+        s.run();
+        let _ = s.tag();
+    }
+}

@@ -1,0 +1,20 @@
+//! Taint fixture: `canonical_text` is a canonical sink that reaches a
+//! wall-clock read two calls down. The file is entry-reachable, so it
+//! must also be classified in `[determinism]` / `[determinism-exempt]`
+//! or the surface check fires.
+
+pub fn canonical_text() -> String {
+    render(compute())
+}
+
+fn compute() -> u64 {
+    tick()
+}
+
+fn tick() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+fn render(x: u64) -> String {
+    format!("{x}")
+}

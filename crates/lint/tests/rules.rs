@@ -229,10 +229,140 @@ fn workspace_is_clean_under_checked_in_manifest() {
             .join("\n")
     );
     // The deadlock rule really parsed the dataflow: the three-queue
-    // chain must be present and acyclic.
+    // chain must be present and acyclic (since v2 it scans the whole
+    // workspace, not just the [deadlock] dirs).
     assert_eq!(a.queues, 3);
     assert_eq!(a.edges, 2);
     assert_eq!(a.cycles, 0);
-    // The two wavefront kernels carry their hot tags.
-    assert_eq!(a.hot_files, 2);
+    // banded.rs + bsw_fast.rs + bsw_simd.rs carry their hot tags.
+    assert_eq!(a.hot_files, 3);
+    // The call graph actually covered the workspace: entry points
+    // resolved and reachability is non-trivial. Loose bounds — exact
+    // shapes are pinned by the fixture crates, not the living tree.
+    assert!(a.entry_fns >= 8, "entry fns: {}", a.entry_fns);
+    assert!(a.reachable_fns > 100, "reachable fns: {}", a.reachable_fns);
+    assert!(a.call_edges > 1000, "call edges: {}", a.call_edges);
+}
+
+// --- call-graph fixture pins (exact node/edge counts) ---------------
+
+#[test]
+fn callgraph_traits_dispatch_targets_implementors_with_bodies() {
+    let a = analyze(
+        "[scan]\ncallgraph_traits\n[entry-points]\nexecute\n",
+        &["panics"],
+    );
+    // trait decl (bodyless) + default method + 2 impls + 2 helpers
+    // + execute.
+    assert_eq!(a.fns, 7);
+    // execute -> {Seeding::run, Filtering::run, Stage::tag} plus the
+    // two helper calls; the bodyless signature is not a target.
+    assert_eq!(a.call_edges, 5);
+    assert_eq!(a.unknown_edges, 0);
+    assert_eq!(a.entry_fns, 1);
+    assert_eq!(a.reachable_fns, 6, "everything but the bodyless trait sig");
+}
+
+#[test]
+fn callgraph_alias_resolves_use_as_to_definition() {
+    let a = analyze(
+        "[scan]\ncallgraph_alias\n[entry-points]\nexecute\n",
+        &["panics"],
+    );
+    assert_eq!(a.fns, 2);
+    assert_eq!(a.call_edges, 1, "launch() -> spawn_worker, not unknown");
+    assert_eq!(a.unknown_edges, 0);
+    assert_eq!(a.reachable_fns, 2);
+}
+
+#[test]
+fn callgraph_shadow_prefers_same_file_then_fans_out() {
+    let a = analyze(
+        "[scan]\ncallgraph_shadow\n[entry-points]\nexecute\n",
+        &["panics"],
+    );
+    assert_eq!(a.fns, 6);
+    // execute -> a::normalize (same-file wins) + a::normalize -> step
+    // + b::normalize -> other + dispatch -> both normalize defs.
+    assert_eq!(a.call_edges, 5);
+    assert_eq!(a.unknown_edges, 0);
+    assert_eq!(a.reachable_fns, 3, "execute, a::normalize, step");
+}
+
+#[test]
+fn callgraph_closures_merge_into_enclosing_fn() {
+    let a = analyze(
+        "[scan]\ncallgraph_closures\n[entry-points]\nexecute\n",
+        &["panics"],
+    );
+    assert_eq!(a.fns, 3, "the closure is not its own node");
+    assert_eq!(a.call_edges, 2, "execute -> helper -> inner");
+    assert_eq!(a.unknown_edges, 1, "worker() — the closure binding");
+    assert_eq!(a.reachable_fns, 3);
+}
+
+#[test]
+fn callgraph_macro_synthesizes_one_fn_per_invocation() {
+    let a = analyze(
+        "[scan]\ncallgraph_macro\n[entry-points]\nexecute\n",
+        &["panics"],
+    );
+    assert_eq!(a.fns, 4, "kernel_i16, kernel_i32, helper, execute");
+    // execute -> both kernels, each kernel -> helper (via the shared
+    // macro body range).
+    assert_eq!(a.call_edges, 4);
+    assert_eq!(a.unknown_edges, 0);
+    assert_eq!(a.reachable_fns, 4);
+}
+
+// --- reachability + taint fixtures ----------------------------------
+
+#[test]
+fn reachable_panic_carries_full_chain_and_orphan_is_baselined() {
+    let a = analyze(
+        "[scan]\nreach_panics\n[entry-points]\nexecute\n\
+         [baseline panics]\nreach_panics 1\n",
+        &["panics"],
+    );
+    let s = a.stats("panics");
+    assert_eq!(s.found, 2, "{:#?}", a.sites);
+    assert_eq!(s.violations, 1, "only the reachable site is hard");
+    assert_eq!(s.baselined, 1, "the orphan rides the baseline");
+    let v = violations(&a);
+    assert_eq!(
+        v[0].msg,
+        ".unwrap() — reachable from pipeline entry points via \
+         execute -> stage_a -> stage_b"
+    );
+    assert_eq!(v[0].chain, vec!["execute", "stage_a", "stage_b"]);
+}
+
+#[test]
+fn taint_unclassified_reachable_module_fails_surface_check() {
+    let a = analyze(
+        "[scan]\ntaint_flow\n[entry-points]\ncanonical_text\n\
+         [determinism-sinks]\ncanonical_text\n",
+        &["taint"],
+    );
+    let v = violations(&a);
+    assert_eq!(v.len(), 2, "{:#?}", a.sites);
+    assert!(v[0].msg.contains("listed in neither [determinism] nor"));
+}
+
+#[test]
+fn taint_sink_reports_source_with_chain() {
+    let a = analyze(
+        "[scan]\ntaint_flow\n[entry-points]\ncanonical_text\n\
+         [determinism-sinks]\ncanonical_text\n\
+         [determinism]\ntaint_flow/report.rs\n",
+        &["taint"],
+    );
+    let v = violations(&a);
+    assert_eq!(v.len(), 1, "{:#?}", a.sites);
+    assert_eq!(
+        v[0].msg,
+        "canonical sink canonical_text transitively calls tick \
+         (wall clock: Instant::now at taint_flow/report.rs:15)"
+    );
+    assert_eq!(v[0].chain, vec!["canonical_text", "compute", "tick"]);
 }

@@ -11,7 +11,7 @@ use crate::amino::{translate, AminoAcid, Frame, TranslatedFrame};
 use crate::blosum::ProteinMatrix;
 use genome::Sequence;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Parameters of the translated search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,7 +100,10 @@ pub fn tblastx(target: &Sequence, query: &Sequence, params: &TblastxParams) -> V
     for qframe in query_frame_list {
         let qf = translate(query, qframe);
         // Per (target frame, diagonal) best hit to suppress duplicates.
-        let mut best_on_diag: HashMap<(u8, i64), TranslatedHit> = HashMap::new();
+        // BTreeMap so `into_values()` drains in key order: the final
+        // stable sort then breaks score ties by (frame, diagonal) and
+        // hit order never depends on hasher state.
+        let mut best_on_diag: BTreeMap<(u8, i64), TranslatedHit> = BTreeMap::new();
         for qpos in 0..qf.peptide.len().saturating_sub(params.word_len.saturating_sub(1)) {
             let Some(word) = pack_word(&qf.peptide[qpos..qpos + params.word_len]) else {
                 continue;

@@ -36,7 +36,16 @@ impl SeedPattern {
     /// The default 12-of-19 seed used by LASTZ and Darwin-WGA
     /// (`1110100110010101111`).
     pub fn lastz_default() -> SeedPattern {
-        "1110100110010101111".parse().expect("valid pattern")
+        const BITS: &str = "1110100110010101111";
+        SeedPattern {
+            sampled: BITS
+                .bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'1')
+                .map(|(i, _)| i)
+                .collect(),
+            span: BITS.len(),
+        }
     }
 
     /// A contiguous k-mer seed (all positions sampled).
